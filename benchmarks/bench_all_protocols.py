@@ -1,0 +1,55 @@
+"""E5 -- the tech-report table: every Archibald & Baer protocol.
+
+The paper states the methodology was applied to all protocols of [1]
+(results in tech report CENG-92-20, which is not retrievable); this
+benchmark regenerates the equivalent table with our implementation:
+essential states, state visits, global edges and verdict per protocol.
+
+Expected shape: every protocol verifies; essential-state counts are
+small constants (3-7) regardless of protocol complexity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.essential import explore
+from repro.protocols.registry import all_protocols, get_protocol, protocol_names
+
+
+def test_protocol_zoo_table(benchmark, emit):
+    def measure():
+        rows = []
+        for spec in all_protocols():
+            result = explore(spec)
+            assert result.ok, spec.name
+            rows.append(
+                [
+                    spec.name,
+                    "sharing" if spec.uses_sharing_detection else "null",
+                    len(spec.states),
+                    len(result.essential),
+                    result.stats.visits,
+                    len(result.transitions),
+                    f"{result.stats.elapsed * 1000:.1f} ms",
+                ]
+            )
+            assert len(result.essential) <= 8
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "E5 -- protocol zoo (the [12] tech-report table)\n"
+        + format_table(
+            ["protocol", "F", "|Q|", "essential", "visits", "edges", "time"],
+            rows,
+        )
+    )
+
+
+@pytest.mark.parametrize("name", protocol_names())
+def test_verify_protocol(benchmark, name):
+    """Per-protocol verification cost (augmented expansion)."""
+    result = benchmark(lambda: explore(get_protocol(name)))
+    assert result.ok

@@ -1,0 +1,49 @@
+"""E12 (extension) -- design-space probing at verification speed.
+
+The paper's complexity result makes verification cheap enough to run
+hundreds of times per protocol.  This bench sweeps every single-point
+edit of MSI and Illinois through the verifier (the fragility map of
+``examples/fragility_map.py``) and times the whole campaign.
+
+Expected shape: the full campaign (hundreds of verifications) completes
+in seconds; edits at miss-handling and invalidation sites dominate the
+coherence-breaking fraction, while hit/replacement sites tolerate most
+edits.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.protocols.perturb import criticality_profile
+from repro.protocols.registry import get_protocol
+
+
+def test_criticality_campaign(benchmark, emit):
+    def measure():
+        return {
+            name: criticality_profile(get_protocol(name), picks=2)
+            for name in ("msi", "illinois")
+        }
+
+    reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            [
+                name,
+                report.attempted,
+                report.ill_formed,
+                report.survived,
+                report.broken,
+                f"{report.fragility:.0%}",
+            ]
+        )
+        assert report.broken > 0  # some edits must matter...
+        assert report.survived > 0  # ...and some must not
+    emit(
+        "E12 (extension) -- perturbation campaign over the verifier\n"
+        + format_table(
+            ["protocol", "edits", "ill-formed", "survived", "broken", "fragility"],
+            rows,
+        )
+    )

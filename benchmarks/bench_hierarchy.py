@@ -1,0 +1,90 @@
+"""E9 (extension) -- hierarchical machines (paper Section 5).
+
+Not a table from the paper itself, but the paper's stated next target
+(and the subject of its reference [9], the Gigamax verification): a
+clustered machine with per-cluster L2 caches.  This bench runs verified
+protocols on the two-level substrate and measures how the cluster level
+filters global-bus traffic -- plus times the hierarchical simulator.
+
+Expected shape: with locality-friendly workloads a large fraction of
+misses is absorbed inside clusters; the golden-value oracle and the
+inclusion/state audits stay clean throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.protocols.registry import get_protocol
+from repro.simulator.hierarchy import HierarchicalSystem
+from repro.simulator.workloads import make_workload
+
+PROTOCOLS = ("illinois", "msi", "moesi", "mesif")
+LENGTH = 12_000
+
+
+def _run(name: str, workload: str, clusters: int = 4, l1s: int = 2):
+    system = HierarchicalSystem(
+        get_protocol(name), clusters, l1s, l1_sets=4, l2_sets=16, l2_assoc=2
+    )
+    trace = make_workload(workload, system.n_processors, LENGTH, seed=77)
+    violations, _ = system.run(trace)
+    return system, violations
+
+
+def test_hierarchy_table(benchmark, emit):
+    def measure():
+        rows = []
+        for name in PROTOCOLS:
+            for workload in ("hot-block", "migratory", "producer-consumer"):
+                system, violations = _run(name, workload)
+                assert violations == 0, (name, workload)
+                assert system.audit() == [], (name, workload)
+                s = system.stats
+                filtered = s.cluster_hits / max(1, s.cluster_hits + s.global_misses)
+                rows.append(
+                    [
+                        name,
+                        workload,
+                        f"{s.l1_hits / s.accesses:.1%}",
+                        f"{filtered:.1%}",
+                        s.global_transactions,
+                        s.back_invalidations,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "E9 (extension) -- hierarchical machine: cluster-level filtering\n"
+        + format_table(
+            [
+                "protocol",
+                "workload",
+                "L1 hits",
+                "misses absorbed in-cluster",
+                "global bus txns",
+                "back-invalidations",
+            ],
+            rows,
+        )
+    )
+    # Shape: the cluster level absorbs a meaningful share of misses.
+    absorbed = [float(r[3].rstrip("%")) for r in rows]
+    assert max(absorbed) > 20.0
+
+
+@pytest.mark.parametrize("name", ["illinois"])
+def test_hierarchical_simulation_cost(benchmark, name):
+    trace = make_workload("hot-block", 8, 4000, seed=5)
+
+    def run_once():
+        system = HierarchicalSystem(
+            get_protocol(name), 4, 2, l1_sets=4, l2_sets=16
+        )
+        violations, _ = system.run(trace)
+        assert violations == 0
+        return system
+
+    benchmark(run_once)

@@ -1,0 +1,102 @@
+"""E4 -- Section 3.1: the state-space explosion vs symbolic expansion.
+
+The paper's quantitative claim: an exhaustive expansion needs roughly
+``n·k·m^n`` state visits (exponential in the number of caches), while
+the symbolic expansion converges in a handful of visits *independent*
+of ``n``.  This benchmark measures both, fits the measured growth rate,
+and prints the comparison table.
+
+Expected shape: strict-enumeration visits grow geometrically (fit base
+> 1.5 for Illinois), counting equivalence is polynomial but still
+n-dependent, symbolic is a constant (23).  Crossover at n = 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    fit_exponential_growth,
+    max_states,
+    visit_lower_bound,
+)
+from repro.analysis.reporting import format_table
+from repro.core.essential import explore
+from repro.enumeration.exhaustive import Equivalence, enumerate_space
+from repro.protocols.illinois import IllinoisProtocol
+
+NS = (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_growth_table(benchmark, emit):
+    spec = IllinoisProtocol()
+    m, k = len(spec.states), len(spec.operations)
+    symbolic = explore(spec)
+
+    def measure():
+        rows = []
+        strict_visits = []
+        for n in NS:
+            strict = enumerate_space(spec, n)
+            counting = enumerate_space(spec, n, equivalence=Equivalence.COUNTING)
+            strict_visits.append(strict.stats.visits)
+            rows.append(
+                [
+                    n,
+                    max_states(m, n),
+                    visit_lower_bound(n, k, m),
+                    strict.stats.unique_states,
+                    strict.stats.visits,
+                    counting.stats.unique_states,
+                    counting.stats.visits,
+                    symbolic.stats.visits,
+                ]
+            )
+        return rows, strict_visits
+
+    rows, strict_visits = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    fit = fit_exponential_growth(NS, strict_visits)
+    emit(
+        "E4 -- state-space growth, Illinois\n"
+        + format_table(
+            [
+                "n",
+                "m^n",
+                "n*k*m^n",
+                "strict uniq",
+                "strict visits",
+                "count uniq",
+                "count visits",
+                "symbolic visits",
+            ],
+            rows,
+        )
+        + f"\n\nstrict visits ~ {fit.prefactor:.2f} * {fit.base:.2f}^n "
+        f"(R^2={fit.r_squared:.3f}); symbolic constant at "
+        f"{symbolic.stats.visits}"
+    )
+
+    # Shape assertions: exponential baseline, constant symbolic cost.
+    assert fit.exponential and fit.base > 1.5
+    assert strict_visits == sorted(strict_visits)
+    assert strict_visits[-1] > 50 * symbolic.stats.visits
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_exhaustive_enumeration_cost(benchmark, n):
+    """Times the Figure 2 baseline at representative cache counts."""
+    benchmark(lambda: enumerate_space(IllinoisProtocol(), n))
+
+
+def test_counting_enumeration_cost(benchmark):
+    benchmark(
+        lambda: enumerate_space(
+            IllinoisProtocol(), 5, equivalence=Equivalence.COUNTING
+        )
+    )
+
+
+def test_symbolic_expansion_cost(benchmark):
+    """The symbolic expansion: same cost for ANY number of caches."""
+    benchmark(lambda: explore(IllinoisProtocol()))

@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+Benchmarks double as the experiment harness: each one both times a
+piece of the pipeline (pytest-benchmark) and *prints the table or
+listing the paper reports*, so ``pytest benchmarks/ --benchmark-only``
+regenerates every artifact of the evaluation.  The ``emit`` fixture
+prints through pytest's capture so the tables appear live in the run
+log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report table so it is visible in the pytest output."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+
+    return _emit

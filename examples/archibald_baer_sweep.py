@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A mini Archibald & Baer evaluation on the simulation substrate.
+
+The paper's reference [1] compares coherence protocols by simulating a
+multiprocessor and measuring the bus traffic each design generates as
+the machine scales.  This example reruns that comparison with our
+substrate: the protocol zoo × sharing-heavy workloads × machine sizes
+from 2 to 16 processors, tabulating hit rates and per-access bus
+traffic, and summarizing the scaling trend per protocol family.
+
+Every data point is simultaneously an end-to-end validation run: the
+golden-value oracle checks every load, so the sweep would fail loudly
+if any verified protocol misbehaved.
+
+Run:  python examples/archibald_baer_sweep.py
+"""
+
+from repro.analysis.sweeps import metric_series, sweep_table, traffic_sweep
+from repro.protocols.registry import get_protocol
+
+PROTOCOLS = ["write-once", "synapse", "berkeley", "illinois", "firefly", "dragon"]
+WORKLOADS = ["hot-block", "migratory", "producer-consumer"]
+SIZES = [2, 4, 8, 16]
+
+
+def main() -> None:
+    points = traffic_sweep(
+        [get_protocol(name) for name in PROTOCOLS],
+        WORKLOADS,
+        SIZES,
+        length=8000,
+        seed=1234,
+    )
+    assert all(p.violations == 0 for p in points)
+
+    for workload in WORKLOADS:
+        print(sweep_table(points, workload=workload))
+        print()
+
+    print("bus transactions per access vs machine size (hot-block):")
+    series = metric_series(points, "bus_per_access", workload="hot-block")
+    for protocol in PROTOCOLS:
+        line = "  ".join(f"{n:2d}p:{v:.3f}" for n, v in series[protocol])
+        print(f"  {protocol:11s} {line}")
+
+    print()
+    print("What the A&B comparison shows on our substrate:")
+    print(" * synapse pays the most bus traffic under migratory sharing")
+    print("   (no cache-to-cache transfer: every ownership change goes")
+    print("   through memory twice);")
+    print(" * the update protocols (firefly, dragon) keep hit rates high")
+    print("   under producer-consumer sharing -- consumers are updated in")
+    print("   place instead of being invalidated and missing;")
+    print(" * the invalidate protocols generate less bus traffic when")
+    print("   sharing is migratory (one invalidation per hand-off beats")
+    print("   broadcasting every store).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Design your own protocol and verify it -- the downstream-user story.
+
+We specify a brand-new (and deliberately naive) protocol with the
+public API: a *write-through-always* design with two states, where
+every write goes to memory and remote copies are updated in place.
+Then we let the verifier loose on it, twice:
+
+1. the correct formulation verifies;
+2. a careless variant ("remote copies keep their data on writes,
+   they'll notice eventually") is rejected with a counterexample --
+   before a single line of RTL exists.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro import verify
+from repro.core.errors import ForbidMultiple
+from repro.core.protocol import ProtocolSpec
+from repro.core.reactions import Ctx, MEMORY, ObserverReaction, Outcome
+from repro.core.symbols import Op
+
+INVALID = "Invalid"
+VALID = "Valid"
+
+
+class WriteThroughUpdate(ProtocolSpec):
+    """Two-state write-through protocol with update broadcast.
+
+    Every write is written through to memory and broadcast to all other
+    copies; reads miss straight to memory.  Simple, correct and
+    bus-hungry -- the 1980s baseline every snooping protocol improved
+    on.
+    """
+
+    name = "wtu"
+    full_name = "Write-Through-Update (example)"
+    states = (INVALID, VALID)
+    invalid = INVALID
+    uses_sharing_detection = False
+    error_patterns = ()  # any combination of Valid copies is legal
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        if op is Op.REPLACE:
+            return Outcome(INVALID)  # copies are never dirty: just drop
+        if op is Op.READ:
+            if state == VALID:
+                return Outcome(VALID)
+            return Outcome(VALID, load_from=MEMORY)
+        # Write: through to memory, broadcast update to every copy.
+        outcome_kwargs = dict(
+            observers={VALID: ObserverReaction(VALID, updated=True)},
+            write_through=True,
+        )
+        if state == VALID:
+            return Outcome(VALID, **outcome_kwargs)
+        return Outcome(VALID, load_from=MEMORY, **outcome_kwargs)
+
+
+class LazyWriteThrough(WriteThroughUpdate):
+    """The careless variant: forgets to update the remote copies."""
+
+    name = "wtu-lazy"
+    full_name = "Write-Through without update broadcast (buggy example)"
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        outcome = super().react(state, op, ctx)
+        if op is Op.WRITE:
+            return Outcome(
+                outcome.next_state,
+                load_from=outcome.load_from,
+                observers={},  # remote copies silently go stale
+                write_through=True,
+            )
+        return outcome
+
+
+def main() -> None:
+    print("=== Correct write-through-update protocol ===")
+    good = verify(WriteThroughUpdate())
+    print(good.render())
+    assert good.ok
+
+    print("\n=== Careless variant ===")
+    bad = verify(LazyWriteThrough())
+    print(bad.render(diagram=False))
+    assert not bad.ok
+
+
+if __name__ == "__main__":
+    main()

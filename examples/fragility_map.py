@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Where is a coherence protocol load-bearing?  A fragility map.
+
+Because verification is cheap (milliseconds per run -- the paper's
+complexity result), we can afford to verify *hundreds of variants* of a
+protocol: every single-point edit of every transition, systematically.
+The result is a designer's fragility map: which (state, operation)
+sites tolerate edits (redundancy, benign freedom) and which break
+coherence the moment they are touched.
+
+This is the kind of tooling the paper's conclusion envisions when it
+argues the drastic complexity reduction "lets us contemplate efficient
+verification of much more complex protocols": the verifier becomes an
+interactive design instrument rather than a one-off certification.
+
+Run:  python examples/fragility_map.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.protocols.perturb import criticality_profile
+from repro.protocols.registry import get_protocol
+
+PROTOCOLS = ("msi", "illinois", "firefly")
+
+
+def main() -> None:
+    summary_rows = []
+    for name in PROTOCOLS:
+        spec = get_protocol(name)
+        report = criticality_profile(spec, picks=2)
+        print(
+            format_table(
+                ["state", "op", "broken/judged", "fragility"],
+                report.site_rows(),
+                title=f"fragility map -- {spec.full_name}",
+            )
+        )
+        print(
+            f"  {report.attempted} edits attempted, {report.ill_formed} "
+            f"ill-formed, {report.survived} survived, {report.broken} broke "
+            f"coherence ({report.fragility:.0%} fragility)\n"
+        )
+        summary_rows.append(
+            [name, report.attempted, report.broken, f"{report.fragility:.0%}"]
+        )
+    print(
+        format_table(
+            ["protocol", "edits", "coherence-breaking", "fragility"],
+            summary_rows,
+            title="summary",
+        )
+    )
+    print()
+    print("Reading the maps: miss handling (Invalid R/W) and the write-")
+    print("to-shared site (the invalidation/broadcast point) are the load-")
+    print("bearing parts of every protocol; hits and clean replacements")
+    print("tolerate edits.  Each 'broken' cell comes with counterexample")
+    print("paths if you drill in with verify().")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Verify the whole Archibald & Baer protocol zoo.
+
+The paper's companion tech report applies the methodology to every
+protocol of the Archibald & Baer survey; this example regenerates that
+table -- essential states, state visits and verdict per protocol -- and
+then uses the global diagrams to show similarities and disparities
+between protocol families (the paper's Section 5 claim).
+
+Run:  python examples/verify_protocol_zoo.py
+"""
+
+from repro import all_protocols
+from repro.analysis.compare import compare_protocols
+from repro.analysis.reporting import format_table
+from repro.core.essential import explore
+
+
+def main() -> None:
+    results = {}
+    rows = []
+    for spec in all_protocols():
+        result = explore(spec)
+        results[spec.name] = result
+        rows.append(
+            [
+                spec.name,
+                "sharing" if spec.uses_sharing_detection else "null",
+                len(spec.states),
+                len(result.essential),
+                result.stats.visits,
+                len(result.transitions),
+                "VERIFIED" if result.ok else "FAILED",
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "F", "|Q|", "essential", "visits", "edges", "verdict"],
+            rows,
+            title="Symbolic verification of the protocol zoo",
+        )
+    )
+
+    print("\nEvery global state space collapses to a handful of essential")
+    print("states, independent of the number of caches in the machine.\n")
+
+    # Similarities and disparities (Section 5).
+    print("=== MSI vs Synapse (two three-state invalidate protocols) ===")
+    print(compare_protocols(results["msi"], results["synapse"]).render())
+    print()
+    print("=== Illinois vs Firefly (invalidate vs update) ===")
+    print(compare_protocols(results["illinois"], results["firefly"]).render())
+    print()
+    print("=== Dragon vs MOESI (five-state update vs invalidate) ===")
+    print(compare_protocols(results["dragon"], results["moesi"]).render())
+
+
+if __name__ == "__main__":
+    main()

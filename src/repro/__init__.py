@@ -1,0 +1,52 @@
+"""repro -- symbolic verification of cache coherence protocols.
+
+A from-scratch reproduction of Fong Pong and Michel Dubois, "The
+Verification of Cache Coherence Protocols", SPAA 1993: composite states
+with repetition operators, containment-pruned symbolic state-space
+expansion to essential states, data-consistency checking through
+context variables, plus the exhaustive-enumeration baselines the paper
+compares against and an executable snooping-bus multiprocessor that
+runs the same protocol specifications.
+
+Quickstart::
+
+    from repro import verify
+
+    report = verify("illinois")
+    print(report.render())
+"""
+
+from .core import (
+    CompositeState,
+    DataValue,
+    ExpansionResult,
+    Op,
+    ProtocolSpec,
+    PruningMode,
+    Rep,
+    SharingLevel,
+    VerificationReport,
+    explore,
+    verify,
+)
+from .protocols import all_protocols, get_protocol, protocol_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositeState",
+    "DataValue",
+    "ExpansionResult",
+    "Op",
+    "ProtocolSpec",
+    "PruningMode",
+    "Rep",
+    "SharingLevel",
+    "VerificationReport",
+    "__version__",
+    "all_protocols",
+    "explore",
+    "get_protocol",
+    "protocol_names",
+    "verify",
+]

@@ -1,0 +1,172 @@
+"""Parameter sweeps over the executable multiprocessor.
+
+The paper's reference [1] (Archibald & Baer) evaluates coherence
+protocols with a multiprocessor simulation model, comparing the bus
+traffic each design generates as the machine scales.  This module
+provides that style of evaluation on our simulation substrate: sweep
+protocols × workloads × processor counts, collect hit rates and
+per-access coherence traffic, and tabulate/serialize the results.
+
+Every swept run is still checked by the golden-value oracle, so the
+sweep doubles as a large randomized validation campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.protocol import ProtocolSpec
+from ..simulator.system import System
+from ..simulator.workloads import make_workload
+from .reporting import format_table
+
+__all__ = ["TrafficPoint", "traffic_sweep", "sweep_table", "metric_series"]
+
+
+@dataclass(frozen=True)
+class TrafficPoint:
+    """One (protocol, workload, machine size) measurement."""
+
+    protocol: str
+    workload: str
+    n_processors: int
+    accesses: int
+    hit_rate: float
+    bus_per_access: float
+    invalidations: int
+    updates: int
+    writethroughs: int
+    writebacks: int
+    cache_to_cache: int
+    memory_reads: int
+    violations: int
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name (for plotting/series extraction)."""
+        value = getattr(self, name)
+        return float(value)
+
+
+def _measure_point(
+    spec: ProtocolSpec,
+    workload: str,
+    n: int,
+    length: int,
+    seed: int,
+    num_sets: int,
+    assoc: int,
+) -> TrafficPoint:
+    """One sweep measurement (top-level so worker processes can run it)."""
+    trace = make_workload(workload, n, length, seed=seed)
+    system = System(spec, n, num_sets=num_sets, assoc=assoc, strict=False)
+    report = system.run(trace, stop_on_violation=False)
+    return TrafficPoint(
+        protocol=spec.name,
+        workload=workload,
+        n_processors=n,
+        accesses=report.stats.accesses,
+        hit_rate=(
+            report.stats.hits / report.stats.accesses
+            if report.stats.accesses
+            else 0.0
+        ),
+        bus_per_access=(
+            report.bus.transactions / report.stats.accesses
+            if report.stats.accesses
+            else 0.0
+        ),
+        invalidations=report.bus.invalidations,
+        updates=report.bus.updates,
+        writethroughs=report.bus.writethroughs,
+        writebacks=report.bus.writebacks,
+        cache_to_cache=report.bus.cache_to_cache,
+        memory_reads=system.memory.reads,
+        violations=len(report.violations),
+    )
+
+
+def traffic_sweep(
+    protocols: Iterable[ProtocolSpec],
+    workloads: Sequence[str],
+    processor_counts: Sequence[int],
+    *,
+    length: int = 10_000,
+    seed: int = 0,
+    num_sets: int = 8,
+    assoc: int = 1,
+    workers: int = 1,
+) -> list[TrafficPoint]:
+    """Run the full sweep; returns one point per combination.
+
+    Every combination is independent, so ``workers > 1`` distributes the
+    sweep over a process pool (protocol specifications are plain
+    picklable objects).  Results are returned in deterministic
+    (protocol, workload, size) order regardless of worker scheduling.
+    """
+    jobs = [
+        (spec, workload, n, length, seed, num_sets, assoc)
+        for spec in protocols
+        for workload in workloads
+        for n in processor_counts
+    ]
+    if workers <= 1:
+        return [_measure_point(*job) for job in jobs]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_measure_point, *zip(*jobs)))
+
+
+def sweep_table(points: Sequence[TrafficPoint], *, workload: str) -> str:
+    """An aligned table of one workload's sweep results."""
+    rows = [
+        [
+            p.protocol,
+            p.n_processors,
+            f"{p.hit_rate:.1%}",
+            f"{p.bus_per_access:.3f}",
+            p.invalidations,
+            p.updates,
+            p.writethroughs,
+            p.writebacks,
+            p.cache_to_cache,
+        ]
+        for p in points
+        if p.workload == workload
+    ]
+    return format_table(
+        [
+            "protocol",
+            "procs",
+            "hit rate",
+            "bus/access",
+            "inval",
+            "updates",
+            "write-thru",
+            "write-back",
+            "c2c",
+        ],
+        rows,
+        title=f"coherence traffic sweep -- workload: {workload}",
+    )
+
+
+def metric_series(
+    points: Sequence[TrafficPoint], metric: str, *, workload: str
+) -> dict[str, list[tuple[int, float]]]:
+    """Per-protocol (n_processors, metric) series for one workload.
+
+    The plottable form of the Archibald & Baer figures: e.g.
+    ``metric_series(points, "bus_per_access", workload="hot-block")``.
+    """
+    series: dict[str, list[tuple[int, float]]] = {}
+    for point in points:
+        if point.workload != workload:
+            continue
+        series.setdefault(point.protocol, []).append(
+            (point.n_processors, point.metric(metric))
+        )
+    for values in series.values():
+        values.sort()
+    return series

@@ -1,0 +1,341 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands cover the full workflow a protocol designer would use:
+
+* ``repro list`` -- the protocol zoo;
+* ``repro verify illinois`` -- symbolic verification with report,
+  diagram and counterexamples;
+* ``repro mutants illinois`` -- verify every injected-bug variant;
+* ``repro enumerate illinois -n 4`` -- the explicit Figure 2 baseline;
+* ``repro crossval illinois`` -- the Theorem 1 completeness check;
+* ``repro simulate illinois -w hot-block`` -- run the executable
+  multiprocessor on a synthetic workload;
+* ``repro compare illinois firefly`` -- diagram similarity analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.compare import compare_protocols
+from .analysis.reporting import expansion_listing, figure4_table, format_table
+from .core.essential import PruningMode, explore
+from .core.graph import to_dot
+from .analysis.fsm import check_definition_1
+from .core.serialize import result_to_json
+from .core.verifier import verify
+from .enumeration.crossval import cross_validate
+from .enumeration.exhaustive import Equivalence, enumerate_space
+from .protocols.dsl import load_protocol
+from .protocols.perturb import criticality_profile
+from .protocols.mutations import MUTATIONS, get_mutant, mutants_for
+from .protocols.registry import all_protocols, get_protocol
+from .simulator.system import System
+from .simulator.traceio import load_trace, save_trace
+from .simulator.workloads import WORKLOADS, make_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_specs(name: str):
+    """Resolve a protocol argument, allowing the pseudo-name ``all``."""
+    if name == "all":
+        return all_protocols()
+    return [get_protocol(name)]
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in all_protocols():
+        rows.append(
+            [
+                spec.name,
+                spec.full_name,
+                len(spec.states),
+                "sharing-detection" if spec.uses_sharing_detection else "null",
+            ]
+        )
+    print(format_table(["name", "protocol", "|Q|", "F"], rows))
+    print()
+    print("mutations:", ", ".join(MUTATIONS))
+    print("workloads:", ", ".join(WORKLOADS))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    status = 0
+    if args.spec_file:
+        specs = [load_protocol(args.spec_file)]
+    else:
+        specs = _resolve_specs(args.protocol)
+    for spec in specs:
+        if args.mutant:
+            spec = get_mutant(spec, args.mutant)
+        report = verify(
+            spec,
+            augmented=not args.structural,
+            pruning=PruningMode.DUPLICATES if args.no_pruning else PruningMode.CONTAINMENT,
+            validate_spec=not args.mutant,
+        )
+        if args.quiet:
+            print(report)
+        else:
+            print(report.render())
+            if report.result.augmented:
+                print(figure4_table(report.result))
+                print()
+        if args.trace:
+            traced = explore(spec, augmented=not args.structural, keep_trace=True)
+            print(expansion_listing(traced))
+            print()
+        if args.dot:
+            dot = to_dot(report.result)
+            with open(args.dot, "w", encoding="utf-8") as fh:
+                fh.write(dot + "\n")
+            print(f"DOT diagram written to {args.dot}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(result_to_json(report.result) + "\n")
+            print(f"JSON result written to {args.json}")
+        if not report.ok:
+            status = 1
+    return status
+
+
+def _cmd_mutants(args: argparse.Namespace) -> int:
+    rows = []
+    escaped = 0
+    for spec in _resolve_specs(args.protocol):
+        for mutant in mutants_for(spec):
+            report = verify(mutant, validate_spec=False)
+            verdict = "KILLED" if not report.ok else "SURVIVED"
+            if report.ok:
+                escaped += 1
+            kinds = ",".join(sorted({v.kind.value for v in report.violations})) or "-"
+            rows.append(
+                [mutant.name, verdict, report.result.stats.visits, kinds]
+            )
+    print(
+        format_table(
+            ["mutant", "verdict", "visits", "violation kinds"],
+            rows,
+            title="Injected-bug detection by the symbolic verifier",
+        )
+    )
+    if escaped:
+        print(f"\nWARNING: {escaped} mutants escaped the verifier")
+        return 1
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    spec = get_protocol(args.protocol)
+    equivalence = Equivalence.COUNTING if args.counting else Equivalence.STRICT
+    result = enumerate_space(spec, args.n, equivalence=equivalence)
+    print(
+        f"{spec.name}, n={args.n}, {equivalence.value} equivalence: "
+        f"{result.stats.unique_states} states, {result.stats.visits} visits, "
+        f"{'no violations' if result.ok else 'VIOLATIONS FOUND'}"
+    )
+    if args.show_states:
+        for state in result.states:
+            print("  ", state.pretty())
+    return 0 if result.ok else 1
+
+
+def _cmd_crossval(args: argparse.Namespace) -> int:
+    status = 0
+    for spec in _resolve_specs(args.protocol):
+        result = cross_validate(spec, ns=tuple(range(1, args.max_n + 1)))
+        print(result.summary())
+        if not result.ok:
+            status = 1
+    return status
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = get_protocol(args.protocol)
+    if args.mutant:
+        spec = get_mutant(spec, args.mutant)
+    if args.trace_file:
+        trace = load_trace(args.trace_file)
+        if trace.processors > args.processors:
+            args.processors = trace.processors
+    else:
+        trace = make_workload(
+            args.workload, args.processors, args.length, seed=args.seed
+        )
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    system = System(spec, args.processors, num_sets=args.sets, strict=False)
+    report = system.run(trace, stop_on_violation=args.stop_on_violation)
+    print(f"{spec.name} on {trace.describe()}")
+    print(report.summary())
+    for violation in report.violations[:5]:
+        print("  ", violation)
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    result_a = explore(get_protocol(args.a))
+    result_b = explore(get_protocol(args.b))
+    print(compare_protocols(result_a, result_b).render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweeps import sweep_table, traffic_sweep
+
+    points = traffic_sweep(
+        _resolve_specs(args.protocol),
+        [args.workload],
+        args.processors,
+        length=args.length,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(sweep_table(points, workload=args.workload))
+    return 0 if all(p.violations == 0 for p in points) else 1
+
+
+def _cmd_fragility(args: argparse.Namespace) -> int:
+    for spec in _resolve_specs(args.protocol):
+        report = criticality_profile(spec, picks=args.picks)
+        print(
+            format_table(
+                ["state", "op", "broken/judged", "fragility"],
+                report.site_rows(),
+                title=f"fragility map -- {spec.full_name or spec.name}",
+            )
+        )
+        print(
+            f"  {report.attempted} edits, {report.ill_formed} ill-formed, "
+            f"{report.survived} survived, {report.broken} broke coherence "
+            f"({report.fragility:.0%} fragility)\n"
+        )
+    return 0
+
+
+def _cmd_fsm(args: argparse.Namespace) -> int:
+    status = 0
+    for spec in _resolve_specs(args.protocol):
+        problems = check_definition_1(spec)
+        if problems:
+            status = 1
+            print(f"{spec.name}: Definition 1 VIOLATED")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{spec.name}: cache FSM strongly connected (Definition 1 ok)")
+    return status
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symbolic verification of cache coherence protocols "
+        "(Pong & Dubois, SPAA 1993 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list protocols, mutations and workloads")
+
+    p = sub.add_parser("verify", help="symbolically verify a protocol")
+    p.add_argument(
+        "protocol",
+        nargs="?",
+        default="all",
+        help="protocol name or 'all' (ignored with --spec-file)",
+    )
+    p.add_argument(
+        "--spec-file",
+        metavar="FILE",
+        help="verify a protocol written in the specification language",
+    )
+    p.add_argument("--structural", action="store_true", help="skip context variables")
+    p.add_argument("--no-pruning", action="store_true", help="duplicate-only pruning")
+    p.add_argument("--mutant", choices=sorted(MUTATIONS), help="inject a bug first")
+    p.add_argument("--trace", action="store_true", help="print the expansion steps")
+    p.add_argument("--dot", metavar="FILE", help="write the diagram as DOT")
+    p.add_argument("--json", metavar="FILE", help="write the full result as JSON")
+    p.add_argument("--quiet", action="store_true", help="one-line summaries only")
+
+    p = sub.add_parser("mutants", help="verify every injected-bug variant")
+    p.add_argument("protocol", help="protocol name or 'all'")
+
+    p = sub.add_parser("enumerate", help="explicit Figure 2 state enumeration")
+    p.add_argument("protocol")
+    p.add_argument("-n", type=int, default=3, help="number of caches")
+    p.add_argument("--counting", action="store_true", help="Definition 5 equivalence")
+    p.add_argument("--show-states", action="store_true")
+
+    p = sub.add_parser("crossval", help="Theorem 1 cross-validation")
+    p.add_argument("protocol", help="protocol name or 'all'")
+    p.add_argument("--max-n", type=int, default=4)
+
+    p = sub.add_parser("simulate", help="run the executable multiprocessor")
+    p.add_argument("protocol")
+    p.add_argument("-w", "--workload", choices=sorted(WORKLOADS), default="hot-block")
+    p.add_argument("-p", "--processors", type=int, default=4)
+    p.add_argument("-l", "--length", type=int, default=10000)
+    p.add_argument("--sets", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mutant", choices=sorted(MUTATIONS))
+    p.add_argument("--stop-on-violation", action="store_true")
+    p.add_argument("--trace-file", metavar="FILE", help="replay a saved trace")
+    p.add_argument("--save-trace", metavar="FILE", help="save the trace used")
+
+    p = sub.add_parser("compare", help="compare two protocols' diagrams")
+    p.add_argument("a")
+    p.add_argument("b")
+
+    p = sub.add_parser("fsm", help="Definition 1 checks on the cache FSM")
+    p.add_argument("protocol", help="protocol name or 'all'")
+
+    p = sub.add_parser(
+        "fragility", help="verify every single-point edit of a protocol"
+    )
+    p.add_argument("protocol", help="protocol name or 'all'")
+    p.add_argument("--picks", type=int, default=2)
+
+    p = sub.add_parser("sweep", help="traffic sweep across machine sizes")
+    p.add_argument("protocol", help="protocol name or 'all'")
+    p.add_argument("-w", "--workload", choices=sorted(WORKLOADS), default="hot-block")
+    p.add_argument("-p", "--processors", type=int, nargs="+", default=[2, 4, 8])
+    p.add_argument("-l", "--length", type=int, default=8000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "verify": _cmd_verify,
+    "mutants": _cmd_mutants,
+    "enumerate": _cmd_enumerate,
+    "crossval": _cmd_crossval,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "fsm": _cmd_fsm,
+    "fragility": _cmd_fragility,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

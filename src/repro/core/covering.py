@@ -1,0 +1,99 @@
+"""Structural covering and containment (paper Definitions 8-10).
+
+*Structural covering* (``S1 ≤ S2``) lifts the information order on
+repetition operators to composite states: every class of ``S1`` must be
+matched by a class of ``S2`` with an operator at least as strong, and --
+reading footnote 3's implicit ``0`` operator -- every class present only
+in ``S2`` must admit emptiness (operator ``*``).  Semantically,
+``S1 ≤ S2`` iff every concrete configuration admitted by ``S1`` is also
+admitted by ``S2``.
+
+*Containment* (``S1 ⊆_F S2``) additionally requires equal
+characteristic-function values (and, in augmented mode, an equal memory
+context variable), which by Lemmas 1-2 and Corollaries 1-2 makes pruning
+of contained states sound: every successor of ``S1`` is covered by a
+successor of ``S2``.
+"""
+
+from __future__ import annotations
+
+from .composite import CompositeState
+from .operators import Rep, leq
+
+__all__ = [
+    "structurally_covers",
+    "contains",
+    "is_essential_among",
+]
+
+
+def structurally_covers(small: CompositeState, big: CompositeState) -> bool:
+    """Return True iff ``small ≤ big`` (Definition 8).
+
+    Checks ``rep_small(q) ≤ rep_big(q)`` for every class label appearing
+    in either state, with absent labels carrying operator ``0``
+    (so a label present only in *big* needs ``0 ≤ rep_big``, i.e. a
+    ``*`` operator, and a label present only in *small* always fails --
+    its operator is at least ``1``, and ``1 ≤ 0`` does not hold).
+
+    Implemented as a merge walk over the two canonically sorted class
+    tuples (this is the hottest comparison in the whole verifier).
+    """
+    small_classes = small.classes
+    big_classes = big.classes
+    i = j = 0
+    n_small = len(small_classes)
+    n_big = len(big_classes)
+    while i < n_small and j < n_big:
+        label_s, rep_s = small_classes[i]
+        label_b, rep_b = big_classes[j]
+        if label_s == label_b:
+            if not leq(rep_s, rep_b):
+                return False
+            i += 1
+            j += 1
+        elif label_s.sort_key < label_b.sort_key:
+            return False  # class present only in small: 1 ≤ 0 fails
+        else:
+            if rep_b is not Rep.STAR:
+                return False  # class present only in big must admit 0
+            j += 1
+    if i < n_small:
+        return False
+    while j < n_big:
+        if big_classes[j][1] is not Rep.STAR:
+            return False
+        j += 1
+    return True
+
+
+def contains(small: CompositeState, big: CompositeState) -> bool:
+    """Return True iff ``small ⊆_F big`` (Definition 9).
+
+    Structural covering plus equality of every state annotation that
+    participates in the characteristic function or the data model: the
+    sharing level (the value of the sharing-detection ``F``) and the
+    memory context variable ``mdata``.
+    """
+    if small.sharing != big.sharing:
+        return False
+    if small.mdata != big.mdata:
+        return False
+    return structurally_covers(small, big)
+
+
+def is_essential_among(
+    state: CompositeState, others: "list[CompositeState] | tuple[CompositeState, ...]"
+) -> bool:
+    """True iff *state* is contained in none of *others* (Definition 10).
+
+    A composite state is *essential* within a set when no distinct member
+    of the set contains it.
+    """
+    for other in others:
+        if other == state:
+            continue
+        if contains(state, other):
+            return False
+    return True
+

@@ -1,0 +1,243 @@
+"""Erroneous-state conditions and verification violations.
+
+Section 2.1 of the paper identifies two kinds of erroneous global
+states for the Illinois protocol -- *state-compatibility* violations
+("several caches in the Dirty state", "Dirty coexisting with Shared")
+-- and Definition 3 adds the *data-consistency* requirement that no
+processor may ever read an obsolete value.
+
+This module provides:
+
+* a small pattern language for per-protocol state-compatibility rules
+  (:class:`ForbidMultiple`, :class:`ForbidTogether`, :class:`ForbidState`),
+  evaluated both on composite states (symbolic engine) and on concrete
+  count vectors (enumeration/simulation engines);
+* the two generic data-consistency checks -- a *readable obsolete copy*
+  and a *lost value* (no fresh copy anywhere) -- applied to augmented
+  states;
+* :class:`Violation` and :class:`Witness` records used in error reports.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .composite import CompositeState
+from .symbols import DataValue
+
+__all__ = [
+    "ErrorKind",
+    "StatePattern",
+    "ForbidMultiple",
+    "ForbidTogether",
+    "ForbidState",
+    "Violation",
+    "Witness",
+    "check_patterns",
+    "check_data_consistency",
+    "concrete_pattern_violations",
+]
+
+
+class ErrorKind(str, enum.Enum):
+    """Classification of a verification failure."""
+
+    #: A protocol-specific forbidden combination of cache states.
+    INCOMPATIBLE_STATES = "incompatible-states"
+    #: A processor could read a copy holding an obsolete value (Def. 3).
+    READABLE_OBSOLETE = "readable-obsolete"
+    #: The latest written value exists neither in memory nor in any cache.
+    VALUE_LOST = "value-lost"
+
+
+class StatePattern(abc.ABC):
+    """A forbidden structural condition over global states."""
+
+    @abc.abstractmethod
+    def violated_by_composite(self, state: CompositeState) -> bool:
+        """True iff some configuration admitted by *state* violates this."""
+
+    @abc.abstractmethod
+    def violated_by_counts(self, counts: Mapping[str, int]) -> bool:
+        """True iff the exact per-symbol count vector violates this."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable statement of the rule."""
+
+
+@dataclass(frozen=True)
+class ForbidMultiple(StatePattern):
+    """At most one cache may be in *symbol* (e.g. at most one Dirty copy).
+
+    On composite states the check is *possibilistic*: a class whose
+    operator admits two or more members is flagged.  The symbolic
+    expansion only ever constructs a ``+`` class for an ownership state
+    when two owners genuinely coexist (see DESIGN.md), which is exactly
+    how the paper treats ``(Dirty+, ...)`` as erroneous.
+    """
+
+    symbol: str
+
+    def violated_by_composite(self, state: CompositeState) -> bool:
+        """True iff the composite state admits two or more members."""
+        _, hi = state.symbol_interval(self.symbol)
+        return hi is None or hi >= 2
+
+    def violated_by_counts(self, counts: Mapping[str, int]) -> bool:
+        """True iff the exact count vector has two or more members."""
+        return counts.get(self.symbol, 0) >= 2
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"at most one cache may be in state {self.symbol}"
+
+
+@dataclass(frozen=True)
+class ForbidTogether(StatePattern):
+    """States *a* and *b* may not both have an instance.
+
+    Captures semantic contradictions such as a Dirty copy (memory
+    obsolete, sole copy) coexisting with a Shared copy (all copies equal
+    memory).
+    """
+
+    a: str
+    b: str
+
+    def violated_by_composite(self, state: CompositeState) -> bool:
+        """True iff both symbols can be simultaneously instantiated."""
+        a_lo, a_hi = state.symbol_interval(self.a)
+        b_lo, b_hi = state.symbol_interval(self.b)
+        a_possible = a_hi is None or a_hi >= 1
+        b_possible = b_hi is None or b_hi >= 1
+        return a_possible and b_possible
+
+    def violated_by_counts(self, counts: Mapping[str, int]) -> bool:
+        """True iff both symbols have at least one member."""
+        return counts.get(self.a, 0) >= 1 and counts.get(self.b, 0) >= 1
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"states {self.a} and {self.b} may not coexist"
+
+
+@dataclass(frozen=True)
+class ForbidState(StatePattern):
+    """No cache may ever enter *symbol* (useful for testing dead states)."""
+
+    symbol: str
+
+    def violated_by_composite(self, state: CompositeState) -> bool:
+        """True iff the composite state admits any member at all."""
+        _, hi = state.symbol_interval(self.symbol)
+        return hi is None or hi >= 1
+
+    def violated_by_counts(self, counts: Mapping[str, int]) -> bool:
+        """True iff the exact count vector has at least one member."""
+        return counts.get(self.symbol, 0) >= 1
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"state {self.symbol} must be unreachable"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single verification failure found in one reachable state."""
+
+    kind: ErrorKind
+    message: str
+    state: CompositeState | None = None
+
+    def __str__(self) -> str:
+        where = f" in {self.state.pretty()}" if self.state is not None else ""
+        return f"[{self.kind.value}] {self.message}{where}"
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A counterexample path from the initial state to an erroneous one.
+
+    ``steps`` is the sequence of ``(state, transition-label)`` pairs
+    leading from the initial state (first entry, label of the transition
+    *leaving* it) to the erroneous state (:attr:`final`).
+    """
+
+    steps: tuple[tuple[CompositeState, str], ...]
+    final: CompositeState
+    violations: tuple[Violation, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        """Multi-line rendering of the counterexample path."""
+        lines = []
+        for state, label in self.steps:
+            lines.append(f"  {state.pretty()}")
+            lines.append(f"    --{label}-->")
+        lines.append(f"  {self.final.pretty()}    <== ERRONEOUS")
+        for violation in self.violations:
+            lines.append(f"    {violation}")
+        return "\n".join(lines)
+
+
+def check_patterns(
+    state: CompositeState, patterns: Sequence[StatePattern]
+) -> list[Violation]:
+    """Evaluate every forbidden pattern against a composite state."""
+    found = []
+    for pattern in patterns:
+        if pattern.violated_by_composite(state):
+            found.append(
+                Violation(ErrorKind.INCOMPATIBLE_STATES, pattern.describe(), state)
+            )
+    return found
+
+
+def check_data_consistency(state: CompositeState, invalid: str) -> list[Violation]:
+    """Generic Definition-3 checks on an augmented composite state.
+
+    * *readable obsolete*: a valid copy whose ``cdata`` is obsolete is
+      readable by its processor without any coherence action, exposing a
+    value older than the last STORE;
+    * *value lost*: neither memory nor any cache holds the fresh value,
+      so the last STORE can never be observed again.
+    """
+    violations: list[Violation] = []
+    fresh_somewhere = state.mdata is DataValue.FRESH
+    for label, rep in state.items():
+        if label.symbol == invalid or label.data is None:
+            continue
+        if not rep.may_be_present:
+            continue
+        if label.data is DataValue.OBSOLETE:
+            violations.append(
+                Violation(
+                    ErrorKind.READABLE_OBSOLETE,
+                    f"a processor can read obsolete data from a {label.symbol} copy",
+                    state,
+                )
+            )
+        if label.data is DataValue.FRESH and rep.min_count >= 1:
+            fresh_somewhere = True
+    if state.mdata is not None and not fresh_somewhere:
+        violations.append(
+            Violation(
+                ErrorKind.VALUE_LOST,
+                "the most recently written value survives nowhere",
+                state,
+            )
+        )
+    return violations
+
+
+def concrete_pattern_violations(
+    counts: Mapping[str, int], patterns: Sequence[StatePattern]
+) -> list[str]:
+    """Evaluate forbidden patterns on an exact per-symbol count vector."""
+    return [p.describe() for p in patterns if p.violated_by_counts(counts)]

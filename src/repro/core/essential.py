@@ -1,0 +1,374 @@
+"""Essential-state generation: the worklist algorithm of Figure 3.
+
+Starting from ``(Invalid+)`` the algorithm repeatedly expands a working
+composite state, discards every successor *contained* in an already
+known state and removes every known state contained in a new successor
+(both directions of pruning are justified by the monotonicity results,
+Lemmas 1-2 / Corollaries 1-2).  The surviving, fully expanded states are
+the **essential states** (Definition 10); by Theorem 1 they symbolically
+characterize every state an exhaustive enumeration could ever reach, for
+any number of caches.
+
+The implementation instruments every step so the paper's quantitative
+claims can be reproduced:
+
+* ``stats.visits`` counts generated states -- the quantity the paper
+  reports as "22 state visits" for the Illinois protocol;
+* an optional :class:`TraceEntry` log records each visit with its
+  disposition, regenerating the Appendix A.2 listing;
+* a discovery archive keeps predecessor links for counterexample
+  (:class:`~repro.core.errors.Witness`) extraction, even across pruning.
+
+Pruning is selectable (:class:`PruningMode`) so the ablation experiment
+E8 can quantify the value of containment over exact-duplicate detection.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .composite import CompositeState
+from .covering import contains
+from .errors import (
+    Violation,
+    Witness,
+    check_data_consistency,
+    check_patterns,
+)
+from .expansion import SymbolicExpander, SymbolicTransition
+from .protocol import ProtocolSpec
+
+__all__ = [
+    "PruningMode",
+    "Disposition",
+    "TraceEntry",
+    "ExpansionStats",
+    "ExpansionResult",
+    "ExpansionLimitError",
+    "explore",
+]
+
+
+class ExpansionLimitError(Exception):
+    """The expansion exceeded its visit budget without converging."""
+
+
+class PruningMode(str, enum.Enum):
+    """How redundant composite states are pruned during expansion."""
+
+    #: Only exact duplicates are dropped (no use of Definition 9).
+    DUPLICATES = "duplicates"
+    #: Full containment pruning as in Figure 3.
+    CONTAINMENT = "containment"
+
+
+class Disposition(str, enum.Enum):
+    """What happened to one generated state."""
+
+    NEW = "new"
+    DUPLICATE = "duplicate"
+    CONTAINED = "contained"
+    SUPERSEDES = "supersedes"
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One expansion step, in the style of the Appendix A.2 listing."""
+
+    source: CompositeState
+    label: str
+    target: CompositeState
+    disposition: Disposition
+
+    def render(self) -> str:
+        """Multi-line human-readable rendering."""
+        mark = {
+            Disposition.NEW: "",
+            Disposition.DUPLICATE: "  (already known)",
+            Disposition.CONTAINED: "  (contained, discarded)",
+            Disposition.SUPERSEDES: "  (supersedes earlier states)",
+        }[self.disposition]
+        return (
+            f"{self.source.pretty(annotations=False)} --{self.label}--> "
+            f"{self.target.pretty(annotations=False)}{mark}"
+        )
+
+
+@dataclass
+class ExpansionStats:
+    """Instrumentation counters for one expansion run."""
+
+    #: States generated during expansion (the paper's "state visits").
+    visits: int = 0
+    #: Working states popped and (at least partially) expanded.
+    expanded: int = 0
+    #: Generated states discarded because contained in a known state.
+    discarded_contained: int = 0
+    #: Known states removed because contained in a new state.
+    removed_superseded: int = 0
+    #: Exact duplicates dropped.
+    duplicates: int = 0
+    #: Scenario case-splits evaluated.
+    scenarios: int = 0
+    #: Peak size of the working list.
+    max_worklist: int = 0
+    #: Wall-clock seconds.
+    elapsed: float = 0.0
+
+
+@dataclass
+class ExpansionResult:
+    """Everything produced by one run of :func:`explore`."""
+
+    spec: ProtocolSpec
+    augmented: bool
+    pruning: PruningMode
+    initial: CompositeState
+    essential: tuple[CompositeState, ...]
+    transitions: tuple[SymbolicTransition, ...]
+    stats: ExpansionStats
+    violations: tuple[Violation, ...]
+    witnesses: tuple[Witness, ...]
+    trace: tuple[TraceEntry, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no erroneous state is reachable (protocol verified)."""
+        return not self.violations
+
+    def essential_by_render(self) -> dict[str, CompositeState]:
+        """Map from pretty-rendering to state, for report lookups."""
+        return {s.pretty(): s for s in self.essential}
+
+    def summary(self) -> str:
+        """One-paragraph textual summary of the verification run."""
+        verdict = "VERIFIED" if self.ok else f"FAILED ({len(self.violations)} violations)"
+        return (
+            f"{self.spec.full_name or self.spec.name}: {verdict}; "
+            f"{len(self.essential)} essential states, "
+            f"{self.stats.visits} state visits, "
+            f"{len(self.transitions)} global transitions"
+        )
+
+
+def _check_state(
+    state: CompositeState, spec: ProtocolSpec, augmented: bool
+) -> list[Violation]:
+    """All violations exhibited by one composite state."""
+    violations = check_patterns(state, spec.error_patterns)
+    if augmented:
+        violations.extend(check_data_consistency(state, spec.invalid))
+    return violations
+
+
+def _witness_for(
+    state: CompositeState,
+    violations: Sequence[Violation],
+    discovery: dict[CompositeState, tuple[CompositeState, str] | None],
+) -> Witness:
+    """Reconstruct the path from the initial state to *state*."""
+    steps: list[tuple[CompositeState, str]] = []
+    cursor: CompositeState | None = state
+    while cursor is not None:
+        entry = discovery[cursor]
+        if entry is None:
+            break
+        pred, label = entry
+        steps.append((pred, label))
+        cursor = pred
+    steps.reverse()
+    return Witness(tuple(steps), state, tuple(violations))
+
+
+def explore(
+    spec: ProtocolSpec,
+    *,
+    augmented: bool = True,
+    pruning: PruningMode = PruningMode.CONTAINMENT,
+    max_visits: int = 1_000_000,
+    keep_trace: bool = False,
+    stop_on_error: bool = False,
+    on_state: Callable[[CompositeState], None] | None = None,
+) -> ExpansionResult:
+    """Run the Figure 3 algorithm to its fixpoint.
+
+    Parameters
+    ----------
+    spec:
+        The protocol to expand.
+    augmented:
+        Track ``cdata``/``mdata`` context variables (Definition 4) and
+        run the data-consistency checks of Definition 3.
+    pruning:
+        Containment pruning (the paper's algorithm) or plain duplicate
+        detection (ablation baseline).
+    max_visits:
+        Budget on generated states; exceeding it raises
+        :class:`ExpansionLimitError`.
+    keep_trace:
+        Record a :class:`TraceEntry` per generated state (Appendix A.2).
+    stop_on_error:
+        Stop at the first erroneous state instead of exploring fully.
+    on_state:
+        Optional callback invoked for every newly retained state.
+    """
+    expander = SymbolicExpander(spec, augmented=augmented)
+    stats = ExpansionStats()
+    started = time.perf_counter()
+
+    initial = expander.initial_state()
+    working: list[CompositeState] = [initial]
+    visited: list[CompositeState] = []
+    discovery: dict[CompositeState, tuple[CompositeState, str] | None] = {
+        initial: None
+    }
+    trace: list[TraceEntry] = []
+    violations: list[Violation] = []
+    witnesses: list[Witness] = []
+    reported: set[CompositeState] = set()
+
+    def record_error(state: CompositeState) -> bool:
+        """Check and record violations; returns True when found."""
+        if state in reported:
+            return False
+        found = _check_state(state, spec, augmented)
+        if found:
+            reported.add(state)
+            violations.extend(found)
+            witnesses.append(_witness_for(state, found, discovery))
+            return True
+        return False
+
+    record_error(initial)
+
+    stop = False
+    while working and not stop:
+        stats.max_worklist = max(stats.max_worklist, len(working))
+        current = working.pop(0)
+        stats.expanded += 1
+        discard_current = False
+
+        for transition in expander.successors(current):
+            stats.visits += 1
+            if stats.visits > max_visits:
+                raise ExpansionLimitError(
+                    f"{spec.name}: exceeded {max_visits} state visits "
+                    f"(pruning={pruning.value})"
+                )
+            target = transition.target
+            if target not in discovery:
+                discovery[target] = (current, str(transition.label))
+
+            if record_error(target) and stop_on_error:
+                stop = True
+
+            if pruning is PruningMode.CONTAINMENT:
+                if (
+                    contains(target, current)
+                    or any(contains(target, p) for p in working)
+                    or any(contains(target, q) for q in visited)
+                ):
+                    stats.discarded_contained += 1
+                    disposition = (
+                        Disposition.DUPLICATE
+                        if target == current
+                        or target in working
+                        or target in visited
+                        else Disposition.CONTAINED
+                    )
+                else:
+                    before = len(working) + len(visited)
+                    working = [p for p in working if not contains(p, target)]
+                    visited = [q for q in visited if not contains(q, target)]
+                    removed = before - len(working) - len(visited)
+                    stats.removed_superseded += removed
+                    working.append(target)
+                    if on_state is not None:
+                        on_state(target)
+                    disposition = (
+                        Disposition.SUPERSEDES if removed else Disposition.NEW
+                    )
+                    if contains(current, target):
+                        # Figure 3: "if (A ⊆ A') then discard A and
+                        # terminate all FOR loops starting a new run."
+                        discard_current = True
+                if keep_trace:
+                    trace.append(
+                        TraceEntry(current, str(transition.label), target, disposition)
+                    )
+                if discard_current:
+                    break
+            else:  # PruningMode.DUPLICATES
+                if target == current or target in working or target in visited:
+                    stats.duplicates += 1
+                    disposition = Disposition.DUPLICATE
+                else:
+                    working.append(target)
+                    if on_state is not None:
+                        on_state(target)
+                    disposition = Disposition.NEW
+                if keep_trace:
+                    trace.append(
+                        TraceEntry(current, str(transition.label), target, disposition)
+                    )
+            if stop:
+                break
+
+        if not discard_current and not stop:
+            # (On an early stop the current state is only partially
+            # expanded, so it must not masquerade as essential.)
+            visited.append(current)
+
+    stats.scenarios = expander.scenarios_evaluated
+    essential = tuple(visited)
+
+    # Final pass: edges of the global transition diagram between the
+    # essential states (every successor of an essential state is, by the
+    # pruning invariant, contained in some essential state).
+    edges: dict[tuple[CompositeState, str, CompositeState], SymbolicTransition] = {}
+    if not stop:
+        for source in essential:
+            for transition in expander.successors(source):
+                home = _essential_home(transition.target, essential, pruning)
+                key = (source, str(transition.label), home)
+                if key not in edges:
+                    edges[key] = SymbolicTransition(source, transition.label, home)
+
+    stats.elapsed = time.perf_counter() - started
+    return ExpansionResult(
+        spec=spec,
+        augmented=augmented,
+        pruning=pruning,
+        initial=initial,
+        essential=essential,
+        transitions=tuple(edges.values()),
+        stats=stats,
+        violations=tuple(violations),
+        witnesses=tuple(witnesses),
+        trace=tuple(trace),
+    )
+
+
+def _essential_home(
+    state: CompositeState,
+    essential: Sequence[CompositeState],
+    pruning: PruningMode,
+) -> CompositeState:
+    """The essential state containing *state* (itself if listed)."""
+    if pruning is PruningMode.DUPLICATES:
+        for candidate in essential:
+            if candidate == state:
+                return candidate
+        raise AssertionError(
+            f"state {state} not found among visited states (duplicates mode)"
+        )
+    for candidate in essential:
+        if contains(state, candidate):
+            return candidate
+    raise AssertionError(
+        f"successor {state} of an essential state is contained in no "
+        "essential state; the pruning invariant is broken"
+    )

@@ -1,0 +1,218 @@
+"""Repetition operators and their algebra (paper Definition 6, Section 3.2.3).
+
+A composite state groups the caches holding the same FSM state into a
+*class* annotated with a repetition operator:
+
+* ``1`` (:attr:`Rep.ONE`)  -- exactly one cache is in the state;
+* ``+`` (:attr:`Rep.PLUS`) -- at least one cache is in the state;
+* ``*`` (:attr:`Rep.STAR`) -- zero or more caches are in the state;
+* ``0`` (:attr:`Rep.ZERO`) -- no cache is in the state (footnote 3 adds
+  this operator "for completeness"; in canonical composite states the
+  class is simply absent).
+
+Every operator denotes a set of concrete cache counts, conveniently
+represented as an integer interval whose upper bound may be infinite.
+The information order ``1 < + < *`` and ``0 < *`` of Section 3.2.2 is
+exactly subset inclusion of those count sets, and the paper's
+*aggregation* rules (Section 3.2.3, rule 1) are interval addition
+followed by weakening to the coarsest operator that covers the sum:
+
+>>> aggregate(Rep.ONE, Rep.ONE) is Rep.PLUS        # (q, q) ≡ q+
+True
+>>> aggregate(Rep.STAR, Rep.STAR) is Rep.STAR      # (q*, q*) ≡ q*
+True
+>>> aggregate(Rep.ZERO, Rep.PLUS) is Rep.PLUS      # (q0, q+) ≡ q+
+True
+
+The weakening step at ``(1,1)+(1,1)=(2,2) → +`` is where counting
+precision is deliberately abandoned -- Section 4 explains that the
+extra "two or more" information is carried by the value of the
+characteristic function, not by the operator.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from .symbols import CountCase
+
+__all__ = [
+    "Rep",
+    "Interval",
+    "interval_of",
+    "rep_from_interval",
+    "interval_add",
+    "interval_sum",
+    "leq",
+    "aggregate",
+    "remove_one",
+    "count_cases",
+    "conditioned_rep",
+]
+
+#: An integer interval ``(lo, hi)``; ``hi is None`` means unbounded.
+Interval = tuple[int, "int | None"]
+
+
+class Rep(str, enum.Enum):
+    """A repetition operator annotating one cache-state class."""
+
+    ZERO = "0"
+    ONE = "1"
+    PLUS = "+"
+    STAR = "*"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def min_count(self) -> int:
+        """Smallest cache count the operator admits."""
+        return interval_of(self)[0]
+
+    @property
+    def max_count(self) -> int | None:
+        """Largest cache count the operator admits (``None`` = ∞)."""
+        return interval_of(self)[1]
+
+    @property
+    def may_be_empty(self) -> bool:
+        """True if the class may contain no cache at all."""
+        return self.min_count == 0
+
+    @property
+    def may_be_present(self) -> bool:
+        """True if the class may contain at least one cache."""
+        hi = self.max_count
+        return hi is None or hi >= 1
+
+
+_INTERVALS: dict[Rep, Interval] = {
+    Rep.ZERO: (0, 0),
+    Rep.ONE: (1, 1),
+    Rep.PLUS: (1, None),
+    Rep.STAR: (0, None),
+}
+
+
+def interval_of(rep: Rep) -> Interval:
+    """Return the count interval denoted by *rep*."""
+    return _INTERVALS[rep]
+
+
+def rep_from_interval(lo: int, hi: int | None) -> Rep:
+    """Weakest (most precise representable) operator covering ``[lo, hi]``.
+
+    The operator vocabulary cannot express arbitrary intervals, so the
+    result is the *strongest* operator whose interval is a superset of
+    ``[lo, hi]`` -- e.g. ``[2, 2]`` weakens to ``+`` (at least one), which
+    is precisely the paper's aggregation rule ``(q, q) ≡ q+``.
+    """
+    if lo < 0:
+        raise ValueError(f"negative lower bound: {lo}")
+    if hi is not None and hi < lo:
+        raise ValueError(f"empty interval: [{lo}, {hi}]")
+    if hi == 0:
+        return Rep.ZERO
+    if lo == 1 and hi == 1:
+        return Rep.ONE
+    if lo >= 1:
+        return Rep.PLUS
+    return Rep.STAR
+
+
+def interval_add(a: Interval, b: Interval) -> Interval:
+    """Add two count intervals (``None`` upper bounds are absorbing)."""
+    lo = a[0] + b[0]
+    hi = None if (a[1] is None or b[1] is None) else a[1] + b[1]
+    return (lo, hi)
+
+
+def interval_sum(intervals: Iterable[Interval]) -> Interval:
+    """Sum an iterable of count intervals."""
+    total: Interval = (0, 0)
+    for iv in intervals:
+        total = interval_add(total, iv)
+    return total
+
+
+#: Information order of Section 3.2.2: r1 ≤ r2 iff counts(r1) ⊆ counts(r2).
+_LEQ: frozenset[tuple[Rep, Rep]] = frozenset(
+    {
+        (Rep.ZERO, Rep.ZERO),
+        (Rep.ZERO, Rep.STAR),
+        (Rep.ONE, Rep.ONE),
+        (Rep.ONE, Rep.PLUS),
+        (Rep.ONE, Rep.STAR),
+        (Rep.PLUS, Rep.PLUS),
+        (Rep.PLUS, Rep.STAR),
+        (Rep.STAR, Rep.STAR),
+    }
+)
+
+
+def leq(r1: Rep, r2: Rep) -> bool:
+    """Return True iff ``r1 ≤ r2`` in the information order.
+
+    ``q^{r1}`` is *weaker* than ``q^{r2}`` when every count admitted by
+    ``r1`` is also admitted by ``r2`` (``1 < + < *`` and ``0 < *``).
+    """
+    return (r1, r2) in _LEQ
+
+
+def aggregate(r1: Rep, r2: Rep) -> Rep:
+    """Merge two classes of the same state symbol (aggregation rules).
+
+    Implemented as interval addition followed by
+    :func:`rep_from_interval`; reproduces every rule of Section 3.2.3
+    rule 1 and extends them consistently to all operator pairs.
+    """
+    lo, hi = interval_add(interval_of(r1), interval_of(r2))
+    return rep_from_interval(lo, hi)
+
+
+def remove_one(rep: Rep) -> Rep:
+    """Operator left after one member of the class becomes the initiator.
+
+    * ``1``  → ``0`` (the only member left the class)
+    * ``+``  → ``*`` (at least one before, zero or more after)
+    * ``*``  → ``*`` (initiating presumes a member existed; the rest is
+      still "zero or more")
+    """
+    if rep is Rep.ZERO:
+        raise ValueError("cannot remove a member from an empty class")
+    if rep is Rep.ONE:
+        return Rep.ZERO
+    return Rep.STAR
+
+
+def count_cases(rep: Rep, *, sharing: bool) -> tuple[CountCase, ...]:
+    """Conditioned count cases for scenario enumeration.
+
+    Sharing-detection protocols need ``{0, 1, ≥2}`` granularity so that
+    the successor's sharing level is definite; null-``F`` protocols only
+    need presence/absence (``{0, ≥1}``).
+    Definite operators yield a single case.
+    """
+    if rep is Rep.ZERO:
+        return (CountCase.ZERO,)
+    if rep is Rep.ONE:
+        return (CountCase.ONE,)
+    if sharing:
+        if rep is Rep.PLUS:
+            return (CountCase.ONE, CountCase.MANY)
+        return (CountCase.ZERO, CountCase.ONE, CountCase.MANY)
+    if rep is Rep.PLUS:
+        return (CountCase.SOME,)
+    return (CountCase.ZERO, CountCase.SOME)
+
+
+def conditioned_rep(case: CountCase) -> Rep:
+    """Repetition operator representing a class conditioned to *case*."""
+    return {
+        CountCase.ZERO: Rep.ZERO,
+        CountCase.ONE: Rep.ONE,
+        CountCase.MANY: Rep.PLUS,
+        CountCase.SOME: Rep.PLUS,
+    }[case]

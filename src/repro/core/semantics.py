@@ -1,0 +1,112 @@
+"""Shared data-value semantics (paper Section 2.4).
+
+These pure functions encode how the context variables ``cdata`` and
+``mdata`` evolve when an operation executes.  They are deliberately the
+*single* implementation used by the symbolic expansion, the concrete
+product-machine enumeration and the executable simulator -- any
+divergence between the three engines would invalidate the
+cross-validation experiments, so the rules live here exactly once.
+
+The rules generalize the per-protocol pseudo-code of Section 2.4:
+
+* a write-back copies some cache's current value into memory;
+* a load copies the source's current value into the initiator;
+* a STORE makes the writer's copy *fresh*, memory *fresh* only under
+  write-through (otherwise *obsolete*), and every surviving remote copy
+  that is not explicitly updated *obsolete* -- which is how a protocol
+  bug such as a forgotten invalidation becomes a reachable erroneous
+  state in the sense of Definition 3.
+"""
+
+from __future__ import annotations
+
+from .symbols import DataValue, Op
+
+__all__ = [
+    "memory_after_writeback",
+    "memory_after_store",
+    "initiator_data_after",
+    "observer_data_after",
+    "is_store",
+]
+
+
+def is_store(op: Op) -> bool:
+    """True iff the operation writes a new value (a STORE)."""
+    return op is Op.WRITE
+
+
+def memory_after_writeback(
+    mdata: DataValue, writeback_value: DataValue | None
+) -> DataValue:
+    """Memory value after the (optional) write-back phase.
+
+    The write-back happens *before* any load or store of the transaction
+    (e.g. Synapse services a read miss on a dirty block by first flushing
+    the dirty copy to memory).
+    """
+    if writeback_value is None:
+        return mdata
+    if writeback_value is DataValue.NODATA:
+        raise ValueError("cannot write back a copy that holds no data")
+    return writeback_value
+
+
+def memory_after_store(mdata: DataValue, *, store: bool, write_through: bool) -> DataValue:
+    """Memory value after the (optional) store phase.
+
+    A store invalidates memory's claim to the latest value unless the
+    protocol writes the new value through.
+    """
+    if not store:
+        return mdata
+    return DataValue.FRESH if write_through else DataValue.OBSOLETE
+
+
+def initiator_data_after(
+    own: DataValue,
+    load_value: DataValue | None,
+    *,
+    store: bool,
+    becomes_invalid: bool,
+) -> DataValue:
+    """Initiator's ``cdata`` after the transaction.
+
+    ``load_value`` is the value delivered by the block source on a miss
+    (``None`` on a hit).  A store then overwrites whatever was loaded
+    with the fresh value; invalidating the block (replacement) discards
+    data entirely.
+    """
+    if becomes_invalid:
+        return DataValue.NODATA
+    value = own if load_value is None else load_value
+    if store:
+        return DataValue.FRESH
+    if value is DataValue.NODATA:
+        raise ValueError("initiator ends in a valid state without data")
+    return value
+
+
+def observer_data_after(
+    old: DataValue,
+    *,
+    becomes_invalid: bool,
+    updated: bool,
+    store: bool,
+) -> DataValue:
+    """An observer copy's ``cdata`` after the transaction.
+
+    On a store, remote copies either get invalidated, get the new value
+    broadcast to them (*updated*, as in Dragon/Firefly), or silently go
+    stale.  On non-stores a surviving copy keeps its value (state changes
+    such as Dirty→Shared on a supply do not change data).
+    """
+    if becomes_invalid:
+        return DataValue.NODATA
+    if old is DataValue.NODATA:
+        raise ValueError("a valid observer copy cannot hold nodata")
+    if store:
+        if updated:
+            return DataValue.FRESH
+        return DataValue.OBSOLETE if old is DataValue.FRESH else old
+    return old

@@ -1,0 +1,123 @@
+"""JSON serialization of verification results.
+
+Makes expansion results consumable by external tooling (dashboards,
+regression trackers, graph viewers): states, transitions, statistics,
+violations and witnesses are rendered into plain JSON-compatible
+dictionaries.  The representation is stable and documented here; it is
+covered by round-trip tests for the state layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .composite import CompositeState, Label, make_state
+from .errors import Violation, Witness
+from .essential import ExpansionResult
+from .operators import Rep
+from .symbols import DataValue, SharingLevel
+
+__all__ = [
+    "state_to_dict",
+    "state_from_dict",
+    "result_to_dict",
+    "result_to_json",
+]
+
+
+def state_to_dict(state: CompositeState) -> dict[str, Any]:
+    """Plain-dict form of a composite state (lossless)."""
+    return {
+        "classes": [
+            {
+                "symbol": label.symbol,
+                "data": label.data.value if label.data is not None else None,
+                "rep": rep.value,
+            }
+            for label, rep in state.classes
+        ],
+        "sharing": state.sharing.value if state.sharing is not None else None,
+        "mdata": state.mdata.value if state.mdata is not None else None,
+        "pretty": state.pretty(),
+    }
+
+
+def state_from_dict(payload: dict[str, Any]) -> CompositeState:
+    """Inverse of :func:`state_to_dict`."""
+    pieces = [
+        (
+            Label(
+                entry["symbol"],
+                DataValue(entry["data"]) if entry["data"] is not None else None,
+            ),
+            Rep(entry["rep"]),
+        )
+        for entry in payload["classes"]
+    ]
+    return make_state(
+        pieces,
+        sharing=(
+            SharingLevel(payload["sharing"]) if payload["sharing"] is not None else None
+        ),
+        mdata=DataValue(payload["mdata"]) if payload["mdata"] is not None else None,
+    )
+
+
+def _violation_to_dict(violation: Violation) -> dict[str, Any]:
+    return {
+        "kind": violation.kind.value,
+        "message": violation.message,
+        "state": violation.state.pretty() if violation.state is not None else None,
+    }
+
+
+def _witness_to_dict(witness: Witness) -> dict[str, Any]:
+    return {
+        "steps": [
+            {"state": state.pretty(), "label": label}
+            for state, label in witness.steps
+        ],
+        "final": witness.final.pretty(),
+        "violations": [_violation_to_dict(v) for v in witness.violations],
+    }
+
+
+def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
+    """Plain-dict form of a full verification result."""
+    index = {state: i for i, state in enumerate(result.essential)}
+    return {
+        "protocol": result.spec.name,
+        "full_name": result.spec.full_name,
+        "augmented": result.augmented,
+        "pruning": result.pruning.value,
+        "verified": result.ok,
+        "initial": index.get(result.initial),
+        "essential_states": [state_to_dict(s) for s in result.essential],
+        "transitions": [
+            {
+                "source": index[t.source],
+                "label": str(t.label),
+                "op": t.label.op.value,
+                "initiator": t.label.initiator,
+                "target": index[t.target],
+            }
+            for t in result.transitions
+        ],
+        "stats": {
+            "visits": result.stats.visits,
+            "expanded": result.stats.expanded,
+            "discarded_contained": result.stats.discarded_contained,
+            "removed_superseded": result.stats.removed_superseded,
+            "scenarios": result.stats.scenarios,
+            "max_worklist": result.stats.max_worklist,
+            "elapsed_seconds": result.stats.elapsed,
+        },
+        "violations": [_violation_to_dict(v) for v in result.violations],
+        "witnesses": [_witness_to_dict(w) for w in result.witnesses],
+    }
+
+
+def result_to_json(result: ExpansionResult, *, indent: int = 2) -> str:
+    """JSON text form of a full verification result."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)

@@ -1,0 +1,150 @@
+"""Fundamental symbol types shared across the verification engine.
+
+This module defines the small closed vocabularies used everywhere else:
+
+* :class:`Op` -- the processor-initiated operations of the paper's FSM
+  model (``Σ = {R, W, Rep}``, Section 2.3).
+* :class:`DataValue` -- the context-variable domain for cached data,
+  ``cdata ∈ {nodata, fresh, obsolete}`` (Section 2.4, Definition 4).
+* :class:`SharingLevel` -- the three-valued abstraction of the
+  sharing-detection characteristic function (Appendix A.1 calls these
+  *v1*, *v2* and *v3*): no cached copy, exactly one cached copy, two or
+  more cached copies.
+* :class:`CountCase` -- the conditioned count of a cache-state class used
+  when the symbolic expansion case-splits an ambiguous ``+``/``*`` class.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Op",
+    "DataValue",
+    "SharingLevel",
+    "CountCase",
+    "MANY_THRESHOLD",
+]
+
+#: Number of copies at which :attr:`SharingLevel.MANY` starts.
+MANY_THRESHOLD = 2
+
+
+class Op(str, enum.Enum):
+    """A processor-initiated operation on a cache block.
+
+    The paper's operation set is ``Σ = {R, W, Rep}`` (read, write,
+    replacement).  Figure 4 abbreviates replacement as ``Z``; we keep that
+    abbreviation in the string value so rendered transition labels match
+    the paper.
+
+    ``LOCK``/``UNLOCK`` extend ``Σ`` for the "protocols with locked
+    states" the paper's conclusion points to; ordinary protocols simply
+    do not include them in their operation alphabet.
+    """
+
+    READ = "R"
+    WRITE = "W"
+    REPLACE = "Z"
+    LOCK = "L"
+    UNLOCK = "U"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class DataValue(str, enum.Enum):
+    """Value of a context variable attached to a cache or memory copy.
+
+    ``cdata`` ranges over all three members; ``mdata`` (the memory copy)
+    only ever takes :attr:`FRESH` or :attr:`OBSOLETE` (Section 2.4).
+    """
+
+    #: The cache holds no copy of the block at all.
+    NODATA = "nodata"
+    #: The copy holds the value written by the most recent STORE.
+    FRESH = "fresh"
+    #: The copy holds a value older than the most recent STORE.
+    OBSOLETE = "obsolete"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SharingLevel(str, enum.Enum):
+    """Abstract number of valid cached copies in the whole system.
+
+    This is the information content of the sharing-detection
+    characteristic function ``F``: Appendix A.1 shows that for such
+    protocols only three classes of ``F``-values exist -- *v1* (no cached
+    copy), *v2* (exactly one) and *v3* (two or more).  A composite state
+    of a sharing-detection protocol carries one :class:`SharingLevel` and
+    two structurally identical composite states with different levels are
+    distinct (this is how the paper distinguishes ``(Shared+, Inv*)``
+    from ``(Shared, Inv+)``).
+    """
+
+    NONE = "none"  # v1: no valid cached copy anywhere
+    ONE = "one"  # v2: exactly one valid cached copy
+    MANY = "many"  # v3: two or more valid cached copies
+
+    @staticmethod
+    def from_count(count: int) -> "SharingLevel":
+        """Classify an exact copy count into a sharing level."""
+        if count < 0:
+            raise ValueError(f"negative copy count: {count}")
+        if count == 0:
+            return SharingLevel.NONE
+        if count == 1:
+            return SharingLevel.ONE
+        return SharingLevel.MANY
+
+    def as_interval(self) -> tuple[int, int | None]:
+        """Return the (min, max) copy counts of this level; ``None`` = ∞."""
+        if self is SharingLevel.NONE:
+            return (0, 0)
+        if self is SharingLevel.ONE:
+            return (1, 1)
+        return (MANY_THRESHOLD, None)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class CountCase(str, enum.Enum):
+    """Conditioned count of one cache-state class inside a scenario.
+
+    When the symbolic expansion picks an initiator it must know, for each
+    remaining class, whether the class is empty and (for
+    sharing-detection protocols) whether it holds one or several members.
+    Ambiguous classes (operators ``+``/``*``) are case-split into
+    members of this enum:
+
+    * sharing-detection protocols split into ``ZERO | ONE | MANY`` so the
+      successor's :class:`SharingLevel` is always definite;
+    * null-``F`` protocols split into ``ZERO | SOME`` (``SOME`` = at
+      least one, exact multiplicity irrelevant).
+    """
+
+    ZERO = "0"
+    ONE = "1"
+    MANY = "2+"
+    SOME = "1+"
+
+    @property
+    def min_count(self) -> int:
+        """Smallest concrete count consistent with this case."""
+        return {"0": 0, "1": 1, "2+": 2, "1+": 1}[self.value]
+
+    @property
+    def max_count(self) -> int | None:
+        """Largest concrete count consistent with this case (None = ∞)."""
+        return {"0": 0, "1": 1, "2+": None, "1+": None}[self.value]
+
+    @property
+    def is_present(self) -> bool:
+        """True if the class certainly has at least one member."""
+        return self is not CountCase.ZERO
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

@@ -1,0 +1,117 @@
+"""High-level verification API.
+
+:func:`verify` is the one-call entry point a protocol designer uses:
+give it a protocol (or its registry name) and it runs the symbolic
+expansion with context variables, evaluates every erroneous-state
+condition, and returns a :class:`VerificationReport` with the verdict,
+the essential states, the global transition diagram and -- when the
+protocol is broken -- counterexample paths from the initial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import Violation, Witness
+from .essential import ExpansionResult, PruningMode, explore
+from .graph import ascii_diagram
+from .protocol import ProtocolSpec
+
+__all__ = ["VerificationReport", "verify"]
+
+
+@dataclass
+class VerificationReport:
+    """Human-oriented wrapper around an :class:`ExpansionResult`."""
+
+    result: ExpansionResult
+
+    @property
+    def ok(self) -> bool:
+        """True iff the protocol satisfies all correctness conditions."""
+        return self.result.ok
+
+    @property
+    def spec(self) -> ProtocolSpec:
+        """The verified protocol specification."""
+        return self.result.spec
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        """Coherence violations recorded so far."""
+        return self.result.violations
+
+    @property
+    def witnesses(self) -> tuple[Witness, ...]:
+        """Counterexample paths for every erroneous state found."""
+        return self.result.witnesses
+
+    def render(self, *, diagram: bool = True, max_witnesses: int = 3) -> str:
+        """Full multi-line report: verdict, states, diagram, witnesses."""
+        res = self.result
+        lines = [
+            "=" * 72,
+            f"Verification of {res.spec.full_name or res.spec.name}",
+            "=" * 72,
+            res.spec.describe(),
+            "",
+            f"Verdict: {'VERIFIED -- no erroneous state is reachable' if self.ok else 'FAILED -- erroneous states are reachable'}",
+            f"Essential states: {len(res.essential)}    "
+            f"state visits: {res.stats.visits}    "
+            f"elapsed: {res.stats.elapsed*1000:.1f} ms",
+            "",
+        ]
+        if diagram:
+            lines.append(ascii_diagram(res))
+            lines.append("")
+        if not self.ok:
+            lines.append(f"Violations ({len(res.violations)}):")
+            for violation in res.violations:
+                lines.append(f"  - {violation}")
+            lines.append("")
+            for witness in res.witnesses[:max_witnesses]:
+                lines.append("Counterexample:")
+                lines.append(witness.render())
+                lines.append("")
+            if len(res.witnesses) > max_witnesses:
+                lines.append(
+                    f"... and {len(res.witnesses) - max_witnesses} further "
+                    "counterexamples omitted."
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.result.summary()
+
+
+def verify(
+    protocol: ProtocolSpec | str,
+    *,
+    augmented: bool = True,
+    pruning: PruningMode = PruningMode.CONTAINMENT,
+    max_visits: int = 1_000_000,
+    stop_on_error: bool = False,
+    validate_spec: bool = True,
+) -> VerificationReport:
+    """Verify a protocol; the library's main entry point.
+
+    ``protocol`` may be a :class:`~repro.core.protocol.ProtocolSpec`
+    instance or a registry name such as ``"illinois"``.
+    """
+    if isinstance(protocol, str):
+        # Imported lazily: the registry lives above the core package.
+        from ..protocols.registry import get_protocol
+
+        spec = get_protocol(protocol)
+    else:
+        spec = protocol
+    if validate_spec:
+        spec.validate()
+    result = explore(
+        spec,
+        augmented=augmented,
+        pruning=pruning,
+        max_visits=max_visits,
+        stop_on_error=stop_on_error,
+    )
+    return VerificationReport(result)

@@ -1,0 +1,33 @@
+"""Explicit-state baselines: the Figure 2 exhaustive search and the
+Definition 5 counting-equivalence pruning, plus the Theorem 1
+cross-validation harness."""
+
+from .crossval import CrossValResult, cross_validate, is_instance
+from .exhaustive import (
+    EnumerationResult,
+    EnumerationStats,
+    Equivalence,
+    concrete_violations,
+    enumerate_space,
+)
+from .product import (
+    ConcreteState,
+    ConcreteTransition,
+    concrete_successors,
+    initial_concrete,
+)
+
+__all__ = [
+    "ConcreteState",
+    "ConcreteTransition",
+    "CrossValResult",
+    "EnumerationResult",
+    "EnumerationStats",
+    "Equivalence",
+    "concrete_successors",
+    "concrete_violations",
+    "cross_validate",
+    "enumerate_space",
+    "initial_concrete",
+    "is_instance",
+]

@@ -1,0 +1,230 @@
+"""Concrete product-machine semantics (paper Definition 2, Section 3.1).
+
+For a *fixed* number of caches ``n`` the global state of one block is
+the tuple of the individual cache states (the Cartesian product the
+paper's introduction describes), augmented with the per-cache ``cdata``
+and global ``mdata`` context variables of Definition 4.
+
+The transition relation is derived from the **same**
+:class:`~repro.core.reactions.Outcome` objects and the **same** data
+rules (:mod:`repro.core.semantics`) as the symbolic engine, so the
+exhaustive baselines and the cross-validation experiment compare two
+exploration strategies of one semantics rather than two semantics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import Ctx, INITIATOR
+from ..core.semantics import (
+    initiator_data_after,
+    is_store,
+    memory_after_store,
+    memory_after_writeback,
+    observer_data_after,
+)
+from ..core.symbols import CountCase, DataValue, Op, SharingLevel
+
+__all__ = ["ConcreteState", "ConcreteTransition", "initial_concrete", "concrete_successors"]
+
+
+@dataclass(frozen=True)
+class ConcreteState:
+    """Exact global state of one block for a fixed set of caches."""
+
+    states: tuple[str, ...]
+    cdata: tuple[DataValue, ...]
+    mdata: DataValue
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.cdata):
+            raise ValueError("states and cdata must have equal length")
+
+    @property
+    def n(self) -> int:
+        """Number of caches in the system."""
+        return len(self.states)
+
+    def counts(self) -> Counter[str]:
+        """Per-symbol cache counts (the Definition 5 abstraction)."""
+        return Counter(self.states)
+
+    def copies(self, invalid: str) -> int:
+        """Exact number of valid cached copies."""
+        return sum(1 for s in self.states if s != invalid)
+
+    def sharing_level(self, invalid: str) -> SharingLevel:
+        """Exact sharing-detection value class (v1/v2/v3)."""
+        return SharingLevel.from_count(self.copies(invalid))
+
+    def canonical(self) -> "ConcreteState":
+        """Representative under cache permutation (Definition 5).
+
+        Sorts the (state, cdata) pairs; two states are
+        counting-equivalent iff their canonical forms are equal.
+        """
+        pairs = sorted(zip(self.states, self.cdata))
+        return ConcreteState(
+            tuple(p[0] for p in pairs), tuple(p[1] for p in pairs), self.mdata
+        )
+
+    def pretty(self) -> str:
+        """Human-readable rendering."""
+        body = ", ".join(
+            f"{s}:{d.value}" if d is not DataValue.NODATA else s
+            for s, d in zip(self.states, self.cdata)
+        )
+        return f"({body}) [mdata={self.mdata.value}]"
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class ConcreteTransition:
+    """One concrete global transition: cache *actor* performs *op*."""
+
+    source: ConcreteState
+    actor: int
+    op: Op
+    target: ConcreteState
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source.pretty()} --{self.op.value}[cache {self.actor}]--> "
+            f"{self.target.pretty()}"
+        )
+
+
+def initial_concrete(spec: ProtocolSpec, n: int) -> ConcreteState:
+    """All caches invalid, memory fresh (the paper's initial state)."""
+    if n < 1:
+        raise ValueError("need at least one cache")
+    return ConcreteState(
+        (spec.invalid,) * n, (DataValue.NODATA,) * n, DataValue.FRESH
+    )
+
+
+def _ctx_for(spec: ProtocolSpec, state: ConcreteState, actor: int) -> Ctx:
+    """Exact context the actor observes: all other caches."""
+    others = [s for i, s in enumerate(state.states) if i != actor]
+    present = frozenset(s for s in others if s != spec.invalid)
+    copies = sum(1 for s in others if s != spec.invalid)
+    if copies == 0:
+        case = CountCase.ZERO
+    elif copies == 1:
+        case = CountCase.ONE
+    else:
+        case = CountCase.MANY
+    return Ctx(present=present, copies=case)
+
+
+def concrete_successors(
+    spec: ProtocolSpec, state: ConcreteState
+) -> Iterator[ConcreteTransition]:
+    """All one-operation successors of a concrete global state.
+
+    Every cache may initiate every applicable operation; when a block is
+    supplied cache-to-cache or written back, one holding cache per
+    distinct ``cdata`` value is considered (matching the symbolic
+    engine's branching over "arbitrarily chosen" suppliers).
+    """
+    for actor in range(state.n):
+        actor_state = state.states[actor]
+        for op in spec.operations:
+            if not spec.applicable(actor_state, op):
+                continue
+            ctx = _ctx_for(spec, state, actor)
+            outcome = spec.react(actor_state, op, ctx)
+            for target in _apply(spec, state, actor, op, outcome):
+                yield ConcreteTransition(state, actor, op, target)
+
+
+def _data_choices(
+    spec: ProtocolSpec, state: ConcreteState, actor: int, symbol: str
+) -> list[DataValue]:
+    """Distinct data values held by other caches in *symbol*."""
+    values: dict[DataValue, None] = {}
+    for i, s in enumerate(state.states):
+        if i != actor and s == symbol:
+            values.setdefault(state.cdata[i])
+    if not values:
+        raise AssertionError(
+            f"{spec.name}: outcome names {symbol} as a source but none exists"
+        )
+    return list(values)
+
+
+def _apply(
+    spec: ProtocolSpec,
+    state: ConcreteState,
+    actor: int,
+    op: Op,
+    outcome,
+) -> list[ConcreteState]:
+    """Apply an outcome to a concrete state (one result per data choice)."""
+    if outcome.stalled:
+        return [state]
+    store = is_store(op)
+    becomes_invalid = outcome.next_state == spec.invalid
+
+    if outcome.writeback_from is None:
+        wb_values: list[DataValue | None] = [None]
+    elif outcome.writeback_from == INITIATOR:
+        wb_values = [state.cdata[actor]]
+    else:
+        wb_values = list(_data_choices(spec, state, actor, outcome.writeback_from))
+
+    if outcome.load_from is None:
+        load_specs: list[tuple[str, DataValue | None]] = [("none", None)]
+    elif outcome.load_from.kind == "memory":
+        load_specs = [("memory", None)]
+    else:
+        load_specs = [
+            ("cache", v)
+            for v in _data_choices(spec, state, actor, outcome.load_from.symbol or "")
+        ]
+
+    results: list[ConcreteState] = []
+    for wb_value in wb_values:
+        mdata1 = memory_after_writeback(state.mdata, wb_value)
+        for load_kind, load_data in load_specs:
+            if load_kind == "memory":
+                load_value: DataValue | None = mdata1
+            elif load_kind == "cache":
+                load_value = load_data
+            else:
+                load_value = None
+
+            new_states = list(state.states)
+            new_cdata = list(state.cdata)
+            new_states[actor] = outcome.next_state
+            new_cdata[actor] = initiator_data_after(
+                state.cdata[actor],
+                load_value,
+                store=store,
+                becomes_invalid=becomes_invalid,
+            )
+            for i in range(state.n):
+                if i == actor or state.states[i] == spec.invalid:
+                    continue
+                reaction = outcome.observer_for(state.states[i])
+                obs_invalid = reaction.next_state == spec.invalid
+                new_states[i] = reaction.next_state
+                new_cdata[i] = observer_data_after(
+                    state.cdata[i],
+                    becomes_invalid=obs_invalid,
+                    updated=reaction.updated,
+                    store=store,
+                )
+            mdata2 = memory_after_store(
+                mdata1, store=store, write_through=outcome.write_through
+            )
+            candidate = ConcreteState(tuple(new_states), tuple(new_cdata), mdata2)
+            if candidate not in results:
+                results.append(candidate)
+    return results

@@ -1,0 +1,53 @@
+"""Cache coherence protocol specifications.
+
+Every protocol is a :class:`~repro.core.protocol.ProtocolSpec`
+implementing the FSM model of the paper's Definition 1.  The zoo covers
+the paper's running example (Illinois) and the remaining Archibald &
+Baer schemes the companion tech report verifies, plus textbook MSI and
+MOESI baselines.  :mod:`repro.protocols.mutations` derives deliberately
+broken variants used to exercise the verifier's bug detection.
+"""
+
+from .berkeley import BerkeleyProtocol
+from .dragon import DragonProtocol
+from .firefly import FireflyProtocol
+from .dsl import DslError, DslProtocol, load_protocol, parse_protocol
+from .illinois import IllinoisProtocol
+from .lock_msi import LockMsiProtocol
+from .mesif import MesifProtocol
+from .moesi import MoesiProtocol
+from .msi import MsiProtocol
+from .perturb import (
+    PerturbedProtocol,
+    Perturbation,
+    all_perturbations,
+    criticality_profile,
+)
+from .registry import PROTOCOLS, all_protocols, get_protocol, protocol_names
+from .synapse import SynapseProtocol
+from .write_once import WriteOnceProtocol
+
+__all__ = [
+    "BerkeleyProtocol",
+    "DragonProtocol",
+    "FireflyProtocol",
+    "DslError",
+    "DslProtocol",
+    "IllinoisProtocol",
+    "LockMsiProtocol",
+    "MesifProtocol",
+    "MoesiProtocol",
+    "MsiProtocol",
+    "SynapseProtocol",
+    "WriteOnceProtocol",
+    "PROTOCOLS",
+    "Perturbation",
+    "PerturbedProtocol",
+    "all_perturbations",
+    "criticality_profile",
+    "all_protocols",
+    "load_protocol",
+    "parse_protocol",
+    "get_protocol",
+    "protocol_names",
+]

@@ -1,0 +1,107 @@
+"""The Berkeley ownership protocol (Archibald & Baer [1], scheme 3).
+
+Berkeley introduces *ownership with direct cache-to-cache transfer*:
+a dirty block is supplied straight to the requesting cache without
+updating memory, leaving the supplier responsible for the eventual
+write-back.  Four states:
+
+* ``Invalid``;
+* ``Valid`` -- unowned copy, consistent with the *current value* as
+  delivered by the owner (note: memory itself may be stale!);
+* ``Shared-Dirty`` -- owned, modified, other copies may exist;
+* ``Dirty`` -- owned, modified, sole copy.
+
+The characteristic function is null.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["BerkeleyProtocol"]
+
+INVALID = "Invalid"
+VALID = "Valid"
+SHARED_DIRTY = "Shared-Dirty"
+DIRTY = "Dirty"
+
+
+class BerkeleyProtocol(ProtocolSpec):
+    """Berkeley write-invalidate ownership protocol."""
+
+    name = "berkeley"
+    full_name = "Berkeley (SPUR)"
+    states = (INVALID, VALID, SHARED_DIRTY, DIRTY)
+    invalid = INVALID
+    uses_sharing_detection = False
+    owner_states = (DIRTY, SHARED_DIRTY)
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(DIRTY),
+        ForbidMultiple(SHARED_DIRTY),
+        ForbidTogether(DIRTY, VALID),
+        ForbidTogether(DIRTY, SHARED_DIRTY),
+    )
+
+    _INVALIDATE_ALL = {
+        VALID: ObserverReaction(INVALID),
+        SHARED_DIRTY: ObserverReaction(INVALID),
+        DIRTY: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(DIRTY):
+            # Owner supplies directly; memory is NOT updated; the owner
+            # keeps ownership but is no longer exclusive.
+            return Outcome(
+                VALID,
+                load_from=from_cache(DIRTY),
+                observers={DIRTY: ObserverReaction(SHARED_DIRTY)},
+            )
+        if ctx.has(SHARED_DIRTY):
+            return Outcome(VALID, load_from=from_cache(SHARED_DIRTY))
+        return Outcome(VALID, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == DIRTY:
+            return Outcome(DIRTY)
+        if state in (SHARED_DIRTY, VALID):
+            # Claim exclusive ownership: invalidate everyone else.
+            return Outcome(DIRTY, observers=self._INVALIDATE_ALL)
+        # Write miss: the owner (or memory) supplies, everyone else is
+        # invalidated, and the block is loaded Dirty.
+        if ctx.has(DIRTY):
+            load = from_cache(DIRTY)
+        elif ctx.has(SHARED_DIRTY):
+            load = from_cache(SHARED_DIRTY)
+        elif ctx.has(VALID):
+            load = from_cache(VALID)
+        else:
+            load = MEMORY
+        return Outcome(DIRTY, load_from=load, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state in (DIRTY, SHARED_DIRTY):
+            # Owners hold the only authoritative value: write it back.
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

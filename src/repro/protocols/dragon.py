@@ -1,0 +1,131 @@
+"""The Xerox Dragon protocol (Archibald & Baer [1], scheme 6).
+
+A write-broadcast protocol like Firefly, but *without* write-through:
+shared writes are broadcast to the other caches only, and one cache --
+the owner, in state ``Shared-Modified`` -- remains responsible for the
+eventual memory update.  States:
+
+* ``Invalid`` -- block absent;
+* ``Exclusive`` -- clean exclusive copy;
+* ``Shared-Clean`` -- copy consistent with the current value, not the
+  owner (memory may be stale);
+* ``Shared-Modified`` -- modified and shared; this cache owns the block
+  and must write it back;
+* ``Modified`` -- modified exclusive copy.
+
+Dragon consults the SharedLine on writes and misses, so its
+characteristic function is the sharing-detection function.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["DragonProtocol"]
+
+INVALID = "Invalid"
+EXCLUSIVE = "Exclusive"
+SHARED_CLEAN = "Shared-Clean"
+SHARED_MODIFIED = "Shared-Modified"
+MODIFIED = "Modified"
+
+
+class DragonProtocol(ProtocolSpec):
+    """Xerox Dragon write-broadcast ownership protocol."""
+
+    name = "dragon"
+    full_name = "Dragon (Xerox PARC)"
+    states = (INVALID, EXCLUSIVE, SHARED_CLEAN, SHARED_MODIFIED, MODIFIED)
+    invalid = INVALID
+    uses_sharing_detection = True
+    owner_states = (MODIFIED, SHARED_MODIFIED)
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(MODIFIED),
+        ForbidMultiple(SHARED_MODIFIED),
+        ForbidMultiple(EXCLUSIVE),
+        ForbidTogether(MODIFIED, SHARED_CLEAN),
+        ForbidTogether(MODIFIED, SHARED_MODIFIED),
+        ForbidTogether(MODIFIED, EXCLUSIVE),
+        ForbidTogether(EXCLUSIVE, SHARED_CLEAN),
+        ForbidTogether(EXCLUSIVE, SHARED_MODIFIED),
+    )
+
+    #: On a broadcast write the writer becomes the owner; every other
+    #: copy receives the new value and relinquishes ownership.
+    _UPDATE_ALL = {
+        SHARED_CLEAN: ObserverReaction(SHARED_CLEAN, updated=True),
+        SHARED_MODIFIED: ObserverReaction(SHARED_CLEAN, updated=True),
+        EXCLUSIVE: ObserverReaction(SHARED_CLEAN, updated=True),
+        MODIFIED: ObserverReaction(SHARED_CLEAN, updated=True),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _supplier(self, ctx: Ctx) -> str:
+        """Which cache state answers a miss (owners take precedence)."""
+        for candidate in (MODIFIED, SHARED_MODIFIED, SHARED_CLEAN, EXCLUSIVE):
+            if ctx.has(candidate):
+                return candidate
+        raise AssertionError("no supplier among other caches")
+
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.any_copy:
+            # Cache-to-cache supply; a Modified owner becomes
+            # Shared-Modified (keeping the write-back obligation --
+            # memory is NOT updated), an Exclusive holder demotes to
+            # Shared-Clean.
+            return Outcome(
+                SHARED_CLEAN,
+                load_from=from_cache(self._supplier(ctx)),
+                observers={
+                    MODIFIED: ObserverReaction(SHARED_MODIFIED),
+                    EXCLUSIVE: ObserverReaction(SHARED_CLEAN),
+                },
+            )
+        return Outcome(EXCLUSIVE, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(MODIFIED)
+        if state == EXCLUSIVE:
+            return Outcome(MODIFIED)
+        if state in (SHARED_CLEAN, SHARED_MODIFIED):
+            if ctx.any_copy:
+                # Broadcast the new value; the writer becomes (or stays)
+                # the owner.  Memory is not updated.
+                return Outcome(SHARED_MODIFIED, observers=self._UPDATE_ALL)
+            # SharedLine off: sole copy, modified, no memory update.
+            return Outcome(MODIFIED)
+        # Write miss.
+        if ctx.any_copy:
+            return Outcome(
+                SHARED_MODIFIED,
+                load_from=from_cache(self._supplier(ctx)),
+                observers=self._UPDATE_ALL,
+            )
+        return Outcome(MODIFIED, load_from=MEMORY)
+
+    def _replace(self, state: str) -> Outcome:
+        if state in (MODIFIED, SHARED_MODIFIED):
+            # Owners carry the only authoritative value.
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

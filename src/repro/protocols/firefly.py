@@ -1,0 +1,139 @@
+"""The DEC Firefly protocol (Archibald & Baer [1], scheme 5).
+
+A *write-broadcast* (write-update) protocol: writes to shared blocks are
+written through to memory **and** broadcast to the other caches, so no
+copy is ever invalidated by coherence traffic.  States:
+
+* ``Invalid`` -- block not present (the protocol itself never
+  invalidates; this state only models absence/replacement);
+* ``V-Ex`` -- clean exclusive copy;
+* ``Shared`` -- clean copy, possibly further copies; writes are written
+  through;
+* ``Dirty`` -- modified exclusive copy.
+
+The bus SharedLine tells a writer/misser whether other copies exist --
+the sharing-detection characteristic function, making Firefly the
+write-broadcast example the paper cites in Section 2.1.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["FireflyProtocol"]
+
+INVALID = "Invalid"
+VALID_EXCLUSIVE = "V-Ex"
+SHARED = "Shared"
+DIRTY = "Dirty"
+
+
+class FireflyProtocol(ProtocolSpec):
+    """DEC Firefly write-broadcast protocol."""
+
+    name = "firefly"
+    full_name = "Firefly (DEC)"
+    states = (INVALID, VALID_EXCLUSIVE, SHARED, DIRTY)
+    invalid = INVALID
+    uses_sharing_detection = True
+    owner_states = (DIRTY,)
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(DIRTY),
+        ForbidMultiple(VALID_EXCLUSIVE),
+        ForbidTogether(DIRTY, SHARED),
+        ForbidTogether(DIRTY, VALID_EXCLUSIVE),
+        ForbidTogether(VALID_EXCLUSIVE, SHARED),
+    )
+
+    #: On a broadcast write, every remote copy receives the new value.
+    _UPDATE_ALL = {
+        SHARED: ObserverReaction(SHARED, updated=True),
+        VALID_EXCLUSIVE: ObserverReaction(SHARED, updated=True),
+        DIRTY: ObserverReaction(SHARED, updated=True),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(DIRTY):
+            # The dirty holder supplies the block and simultaneously
+            # writes it back; both copies become Shared.
+            return Outcome(
+                SHARED,
+                load_from=from_cache(DIRTY),
+                observers={DIRTY: ObserverReaction(SHARED)},
+                writeback_from=DIRTY,
+            )
+        if ctx.any_copy:
+            # SharedLine asserted: the holders supply, everyone Shared.
+            source = SHARED if ctx.has(SHARED) else VALID_EXCLUSIVE
+            return Outcome(
+                SHARED,
+                load_from=from_cache(source),
+                observers={
+                    SHARED: ObserverReaction(SHARED),
+                    VALID_EXCLUSIVE: ObserverReaction(SHARED),
+                },
+            )
+        return Outcome(VALID_EXCLUSIVE, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == DIRTY:
+            return Outcome(DIRTY)
+        if state == VALID_EXCLUSIVE:
+            # Exclusive: modify locally without a bus transaction.
+            return Outcome(DIRTY)
+        if state == SHARED:
+            if ctx.any_copy:
+                # Write through to memory and broadcast the new value to
+                # every other holder; the block stays Shared.
+                return Outcome(
+                    SHARED, observers=self._UPDATE_ALL, write_through=True
+                )
+            # SharedLine off: the write-through just made memory
+            # consistent, so the sole copy becomes clean exclusive.
+            return Outcome(VALID_EXCLUSIVE, write_through=True)
+        # Write miss.
+        if ctx.has(DIRTY):
+            # Owner supplies and flushes; the write is then broadcast.
+            return Outcome(
+                SHARED,
+                load_from=from_cache(DIRTY),
+                observers=self._UPDATE_ALL,
+                writeback_from=DIRTY,
+                write_through=True,
+            )
+        if ctx.any_copy:
+            source = SHARED if ctx.has(SHARED) else VALID_EXCLUSIVE
+            return Outcome(
+                SHARED,
+                load_from=from_cache(source),
+                observers=self._UPDATE_ALL,
+                write_through=True,
+            )
+        # No other copy: load from memory and modify locally.
+        return Outcome(DIRTY, load_from=MEMORY)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == DIRTY:
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

@@ -1,0 +1,135 @@
+"""The Illinois protocol (paper Section 2.3, Figure 1).
+
+A write-invalidate snooping protocol with four states per cached block:
+
+* ``Invalid`` -- no copy (never cached, or invalidated);
+* ``V-Ex`` (*Valid-Exclusive*) -- clean, the only cached copy;
+* ``Shared`` -- clean, possibly further copies in other caches;
+* ``Dirty`` -- modified, the only cached copy; memory is stale.
+
+The protocol consults the sharing-detection function on read misses: a
+block loads ``V-Ex`` when no other cache holds it and ``Shared``
+otherwise, so its characteristic function ``F`` is non-null (the
+Illinois protocol is the paper's running example for exactly this
+reason).  The Illinois protocol is the classic formulation of what is
+nowadays called MESI.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["IllinoisProtocol", "INVALID", "VALID_EXCLUSIVE", "SHARED", "DIRTY"]
+
+INVALID = "Invalid"
+VALID_EXCLUSIVE = "V-Ex"
+SHARED = "Shared"
+DIRTY = "Dirty"
+
+
+class IllinoisProtocol(ProtocolSpec):
+    """Illinois / MESI write-invalidate protocol specification."""
+
+    name = "illinois"
+    full_name = "Illinois (Papamarcos & Patel / MESI)"
+    states = (INVALID, VALID_EXCLUSIVE, SHARED, DIRTY)
+    invalid = INVALID
+    uses_sharing_detection = True
+    owner_states = (DIRTY,)
+    exclusive_states = (VALID_EXCLUSIVE, DIRTY)
+    shared_fill_state = SHARED
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(DIRTY),
+        ForbidMultiple(VALID_EXCLUSIVE),
+        ForbidTogether(DIRTY, SHARED),
+        ForbidTogether(DIRTY, VALID_EXCLUSIVE),
+        ForbidTogether(VALID_EXCLUSIVE, SHARED),
+    )
+
+    #: All valid states are invalidated when another cache claims
+    #: ownership of the block (the bus invalidation signal is
+    #: unconditional, so the reaction is defined for every state).
+    _INVALIDATE_ALL = {
+        VALID_EXCLUSIVE: ObserverReaction(INVALID),
+        SHARED: ObserverReaction(INVALID),
+        DIRTY: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            # Read hit: no coherence action.
+            return Outcome(state)
+        # Read miss (Section 2.3, rule 2).
+        if ctx.has(DIRTY):
+            # The dirty cache supplies the block *and* updates main
+            # memory; both caches end up Shared.
+            return Outcome(
+                SHARED,
+                load_from=from_cache(DIRTY),
+                observers={DIRTY: ObserverReaction(SHARED)},
+                writeback_from=DIRTY,
+            )
+        if ctx.any_copy:
+            # Cache-to-cache transfer from any clean holder; every copy
+            # ends up Shared.
+            source = SHARED if ctx.has(SHARED) else VALID_EXCLUSIVE
+            return Outcome(
+                SHARED,
+                load_from=from_cache(source),
+                observers={
+                    SHARED: ObserverReaction(SHARED),
+                    VALID_EXCLUSIVE: ObserverReaction(SHARED),
+                },
+            )
+        # No cached copy anywhere: memory supplies a Valid-Exclusive copy.
+        return Outcome(VALID_EXCLUSIVE, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == DIRTY:
+            # Write hit on a dirty block: purely local.
+            return Outcome(DIRTY)
+        if state == VALID_EXCLUSIVE:
+            # Exclusive and clean: no bus transaction needed.
+            return Outcome(DIRTY)
+        if state == SHARED:
+            # Invalidate all remote copies, then modify locally.
+            return Outcome(DIRTY, observers=self._INVALIDATE_ALL)
+        # Write miss: obtain the block (dirty owner, any holder, or
+        # memory -- the paper's write-miss pseudo-code does not update
+        # memory from a dirty supplier; the store makes memory obsolete
+        # immediately afterwards anyway), invalidate every remote copy
+        # and load the block Dirty.
+        if ctx.has(DIRTY):
+            load = from_cache(DIRTY)
+        elif ctx.has(SHARED):
+            load = from_cache(SHARED)
+        elif ctx.has(VALID_EXCLUSIVE):
+            load = from_cache(VALID_EXCLUSIVE)
+        else:
+            load = MEMORY
+        return Outcome(DIRTY, load_from=load, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == DIRTY:
+            # Only dirty blocks carry the sole fresh copy back to memory.
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

@@ -1,0 +1,143 @@
+"""MSI extended with a locked state (paper Section 5 extension).
+
+The paper's conclusion singles out "protocols with locked states" as a
+target for the methodology.  This protocol adds an atomic read-modify-
+write facility to textbook MSI:
+
+* ``Locked`` -- the block is held for an atomic sequence; it is
+  exclusive and modified, and **every other access to the block stalls**
+  until the holder releases it;
+* the operation alphabet is extended with ``LOCK`` (acquire the block
+  exclusively and pin it) and ``UNLOCK`` (release it, leaving the block
+  Modified).
+
+Blocking is modelled with *stalled* outcomes: a refused operation
+leaves the global state untouched and is conceptually retried once the
+lock is released -- in the reachability analysis this is simply a
+self-loop, so the verification machinery of the paper applies without
+change.  A locked line also pins its cache set: replacement is not
+applicable to ``Locked``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    stall,
+)
+from ..core.symbols import Op
+
+__all__ = ["LockMsiProtocol"]
+
+INVALID = "Invalid"
+SHARED = "Shared"
+MODIFIED = "Modified"
+LOCKED = "Locked"
+
+
+class LockMsiProtocol(ProtocolSpec):
+    """MSI with a pinning Locked state and LOCK/UNLOCK operations."""
+
+    name = "lock-msi"
+    full_name = "MSI with locked states (Section 5 extension)"
+    states = (INVALID, SHARED, MODIFIED, LOCKED)
+    invalid = INVALID
+    uses_sharing_detection = False
+    operations = (Op.READ, Op.WRITE, Op.REPLACE, Op.LOCK, Op.UNLOCK)
+    owner_states = (MODIFIED, LOCKED)
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(LOCKED),
+        ForbidMultiple(MODIFIED),
+        ForbidTogether(LOCKED, SHARED),
+        ForbidTogether(LOCKED, MODIFIED),
+        ForbidTogether(MODIFIED, SHARED),
+    )
+
+    _INVALIDATE_ALL = {
+        SHARED: ObserverReaction(INVALID),
+        MODIFIED: ObserverReaction(INVALID),
+        # A Locked copy is never invalidated: contenders stall instead,
+        # so no reachable transaction ever snoops into a Locked line.
+    }
+
+    def applicable(self, state: str, op: Op) -> bool:
+        """Operation applicability; see :meth:`ProtocolSpec.applicable`."""
+        if op is Op.REPLACE:
+            # Locked lines pin their set; absent blocks cannot be evicted.
+            return state not in (INVALID, LOCKED)
+        if op is Op.LOCK:
+            return state != LOCKED  # re-locking a held block is a no-op
+        if op is Op.UNLOCK:
+            return state == LOCKED
+        return True
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        if op is Op.LOCK:
+            return self._lock(state, ctx)
+        if op is Op.UNLOCK:
+            return Outcome(MODIFIED)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(LOCKED):
+            # Blocked: the holder is mid-atomic-sequence.
+            return stall(INVALID)
+        if ctx.has(MODIFIED):
+            return Outcome(
+                SHARED,
+                load_from=MEMORY,
+                observers={MODIFIED: ObserverReaction(SHARED)},
+                writeback_from=MODIFIED,
+            )
+        return Outcome(SHARED, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state in (MODIFIED, LOCKED):
+            return Outcome(state)
+        if state == SHARED:
+            return Outcome(MODIFIED, observers=self._INVALIDATE_ALL)
+        if ctx.has(LOCKED):
+            return stall(INVALID)
+        if ctx.has(MODIFIED):
+            return Outcome(
+                MODIFIED,
+                load_from=MEMORY,
+                observers=self._INVALIDATE_ALL,
+                writeback_from=MODIFIED,
+            )
+        return Outcome(MODIFIED, load_from=MEMORY, observers=self._INVALIDATE_ALL)
+
+    def _lock(self, state: str, ctx: Ctx) -> Outcome:
+        if ctx.has(LOCKED):
+            # Exactly one lock holder at a time: contenders stall.
+            return stall(state)
+        if state in (SHARED, MODIFIED):
+            # Upgrade in place: everyone else is invalidated.
+            return Outcome(LOCKED, observers=self._INVALIDATE_ALL)
+        if ctx.has(MODIFIED):
+            return Outcome(
+                LOCKED,
+                load_from=MEMORY,
+                observers=self._INVALIDATE_ALL,
+                writeback_from=MODIFIED,
+            )
+        return Outcome(LOCKED, load_from=MEMORY, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

@@ -1,0 +1,139 @@
+"""A MESIF protocol (Intel-style forwarding state).
+
+MESIF refines MESI with a *Forward* state: among the clean sharers of a
+block, exactly one -- the most recent requester -- is designated to
+answer future misses cache-to-cache, eliminating both redundant
+responses and memory reads for shared data.  States:
+
+* ``Invalid``;
+* ``Shared`` -- clean, not the designated responder;
+* ``Exclusive`` -- clean, sole copy;
+* ``Modified`` -- dirty, sole copy;
+* ``Forward`` -- clean, shared, designated responder.
+
+Read misses consult the sharing-detection function (Exclusive vs
+Forward), and the singleton invariant on ``Forward`` makes this a nice
+stress test for the verifier's multiple-copies error patterns.  If the
+``Forward`` holder evicts its line, the remaining sharers keep their
+copies and subsequent misses fall back to memory (no forwarder) --
+exactly the corner the symbolic expansion must distinguish.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["MesifProtocol"]
+
+INVALID = "Invalid"
+SHARED = "Shared"
+EXCLUSIVE = "Exclusive"
+MODIFIED = "Modified"
+FORWARD = "Forward"
+
+
+class MesifProtocol(ProtocolSpec):
+    """MESIF write-invalidate protocol with a forwarding state."""
+
+    name = "mesif"
+    full_name = "MESIF (Intel-style forwarding)"
+    states = (INVALID, SHARED, EXCLUSIVE, MODIFIED, FORWARD)
+    invalid = INVALID
+    uses_sharing_detection = True
+    owner_states = (MODIFIED,)
+    exclusive_states = (EXCLUSIVE, MODIFIED)
+    shared_fill_state = SHARED
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(MODIFIED),
+        ForbidMultiple(EXCLUSIVE),
+        ForbidMultiple(FORWARD),
+        ForbidTogether(MODIFIED, SHARED),
+        ForbidTogether(MODIFIED, EXCLUSIVE),
+        ForbidTogether(MODIFIED, FORWARD),
+        ForbidTogether(EXCLUSIVE, SHARED),
+        ForbidTogether(EXCLUSIVE, FORWARD),
+    )
+
+    _INVALIDATE_ALL = {
+        SHARED: ObserverReaction(INVALID),
+        EXCLUSIVE: ObserverReaction(INVALID),
+        MODIFIED: ObserverReaction(INVALID),
+        FORWARD: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(MODIFIED):
+            # The dirty owner flushes and demotes; the requester becomes
+            # the designated forwarder of the now-clean block.
+            return Outcome(
+                FORWARD,
+                load_from=from_cache(MODIFIED),
+                observers={MODIFIED: ObserverReaction(SHARED)},
+                writeback_from=MODIFIED,
+            )
+        if ctx.has(FORWARD):
+            # The forwarder answers and passes the baton.
+            return Outcome(
+                FORWARD,
+                load_from=from_cache(FORWARD),
+                observers={FORWARD: ObserverReaction(SHARED)},
+            )
+        if ctx.has(EXCLUSIVE):
+            return Outcome(
+                FORWARD,
+                load_from=from_cache(EXCLUSIVE),
+                observers={EXCLUSIVE: ObserverReaction(SHARED)},
+            )
+        if ctx.any_copy:
+            # Sharers exist but none forwards (the forwarder was
+            # evicted): memory supplies, the requester takes Forward.
+            return Outcome(FORWARD, load_from=MEMORY)
+        return Outcome(EXCLUSIVE, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(MODIFIED)
+        if state == EXCLUSIVE:
+            return Outcome(MODIFIED)
+        if state in (SHARED, FORWARD):
+            return Outcome(MODIFIED, observers=self._INVALIDATE_ALL)
+        # Write miss.
+        if ctx.has(MODIFIED):
+            load = from_cache(MODIFIED)
+        elif ctx.has(FORWARD):
+            load = from_cache(FORWARD)
+        elif ctx.has(EXCLUSIVE):
+            load = from_cache(EXCLUSIVE)
+        elif ctx.has(SHARED):
+            load = MEMORY  # sharers do not forward without the F baton
+        else:
+            load = MEMORY
+        return Outcome(MODIFIED, load_from=load, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        # Forward evicts silently: remaining sharers lose their
+        # forwarder, which is safe because memory is clean.
+        return Outcome(INVALID)

@@ -1,0 +1,124 @@
+"""A generic five-state MOESI write-invalidate protocol.
+
+The superset protocol family (Sweazey & Smith) the paper's Section 5
+points toward when it mentions "much more complex protocols with large
+numbers of cache states".  Combines Illinois's exclusive-clean state
+with Berkeley's owned state:
+
+* ``Invalid``;
+* ``Exclusive`` -- clean, sole copy;
+* ``Shared`` -- consistent with the current value; not the owner;
+* ``Owned`` -- modified and shared; responsible for the write-back;
+* ``Modified`` -- modified, sole copy.
+
+Read misses consult the sharing-detection function (Exclusive vs
+Shared), so ``F`` is non-null.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["MoesiProtocol"]
+
+INVALID = "Invalid"
+EXCLUSIVE = "Exclusive"
+SHARED = "Shared"
+OWNED = "Owned"
+MODIFIED = "Modified"
+
+
+class MoesiProtocol(ProtocolSpec):
+    """Generic MOESI protocol with cache-to-cache ownership transfer."""
+
+    name = "moesi"
+    full_name = "MOESI (Sweazey & Smith)"
+    states = (INVALID, EXCLUSIVE, SHARED, OWNED, MODIFIED)
+    invalid = INVALID
+    uses_sharing_detection = True
+    owner_states = (MODIFIED, OWNED)
+    exclusive_states = (EXCLUSIVE, MODIFIED)
+    shared_fill_state = SHARED
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(MODIFIED),
+        ForbidMultiple(OWNED),
+        ForbidMultiple(EXCLUSIVE),
+        ForbidTogether(MODIFIED, SHARED),
+        ForbidTogether(MODIFIED, OWNED),
+        ForbidTogether(MODIFIED, EXCLUSIVE),
+        ForbidTogether(EXCLUSIVE, SHARED),
+        ForbidTogether(EXCLUSIVE, OWNED),
+    )
+
+    _INVALIDATE_ALL = {
+        EXCLUSIVE: ObserverReaction(INVALID),
+        SHARED: ObserverReaction(INVALID),
+        OWNED: ObserverReaction(INVALID),
+        MODIFIED: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(MODIFIED):
+            # Ownership transfer without memory update.
+            return Outcome(
+                SHARED,
+                load_from=from_cache(MODIFIED),
+                observers={MODIFIED: ObserverReaction(OWNED)},
+            )
+        if ctx.has(OWNED):
+            return Outcome(SHARED, load_from=from_cache(OWNED))
+        if ctx.any_copy:
+            source = SHARED if ctx.has(SHARED) else EXCLUSIVE
+            return Outcome(
+                SHARED,
+                load_from=from_cache(source),
+                observers={EXCLUSIVE: ObserverReaction(SHARED)},
+            )
+        return Outcome(EXCLUSIVE, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(MODIFIED)
+        if state == EXCLUSIVE:
+            return Outcome(MODIFIED)
+        if state in (SHARED, OWNED):
+            return Outcome(MODIFIED, observers=self._INVALIDATE_ALL)
+        # Write miss: owner (or any holder, or memory) supplies; all
+        # other copies are invalidated.
+        if ctx.has(MODIFIED):
+            load = from_cache(MODIFIED)
+        elif ctx.has(OWNED):
+            load = from_cache(OWNED)
+        elif ctx.has(SHARED):
+            load = from_cache(SHARED)
+        elif ctx.has(EXCLUSIVE):
+            load = from_cache(EXCLUSIVE)
+        else:
+            load = MEMORY
+        return Outcome(MODIFIED, load_from=load, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state in (MODIFIED, OWNED):
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

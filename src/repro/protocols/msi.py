@@ -1,0 +1,86 @@
+"""A textbook three-state MSI write-invalidate protocol.
+
+Not one of the Archibald & Baer schemes, but the canonical pedagogical
+baseline every coherence text starts from, and a useful minimal null-F
+specimen for the verifier.  States ``Invalid``, ``Shared``, ``Modified``;
+a read miss always loads ``Shared`` (no exclusivity optimization, so no
+sharing detection is needed); a dirty block is flushed to memory
+whenever another cache misses on it.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import Ctx, INITIATOR, MEMORY, ObserverReaction, Outcome
+from ..core.symbols import Op
+
+__all__ = ["MsiProtocol"]
+
+INVALID = "Invalid"
+SHARED = "Shared"
+MODIFIED = "Modified"
+
+
+class MsiProtocol(ProtocolSpec):
+    """Canonical MSI write-invalidate protocol."""
+
+    name = "msi"
+    full_name = "MSI (textbook)"
+    states = (INVALID, SHARED, MODIFIED)
+    invalid = INVALID
+    uses_sharing_detection = False
+    owner_states = (MODIFIED,)
+    exclusive_states = (MODIFIED,)
+    shared_fill_state = SHARED
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(MODIFIED),
+        ForbidTogether(MODIFIED, SHARED),
+    )
+
+    _INVALIDATE_ALL = {
+        SHARED: ObserverReaction(INVALID),
+        MODIFIED: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(MODIFIED):
+            # Owner flushes and demotes; requester loads from memory.
+            return Outcome(
+                SHARED,
+                load_from=MEMORY,
+                observers={MODIFIED: ObserverReaction(SHARED)},
+                writeback_from=MODIFIED,
+            )
+        return Outcome(SHARED, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(MODIFIED)
+        if state == SHARED:
+            return Outcome(MODIFIED, observers=self._INVALIDATE_ALL)
+        # Write miss: flush a dirty owner, invalidate everyone, load M.
+        if ctx.has(MODIFIED):
+            return Outcome(
+                MODIFIED,
+                load_from=MEMORY,
+                observers=self._INVALIDATE_ALL,
+                writeback_from=MODIFIED,
+            )
+        return Outcome(MODIFIED, load_from=MEMORY, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == MODIFIED:
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

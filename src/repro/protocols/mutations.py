@@ -1,0 +1,236 @@
+"""Bug injection: deliberately broken protocol variants.
+
+The point of the paper's verifier is to *find* protocol design errors,
+so the reproduction needs protocols that actually contain the classic
+bugs.  Each :class:`Mutation` rewrites the outcomes of a correct base
+specification in one targeted way -- dropping an invalidation, skipping
+a write-back, ignoring the sharing line -- producing a
+:class:`MutatedProtocol` the verifier must reject with a counterexample.
+
+The catalog mirrors the error taxonomy implied by Sections 2.1-2.4:
+
+=============================  =====================================
+mutation                       erroneous condition it induces
+=============================  =====================================
+drop-invalidation              readable obsolete copy (Def. 3)
+skip-replacement-writeback     latest value lost
+ignore-sharing-line            incompatible states + stale read
+forget-supplier-demotion       two "exclusive" owners coexist
+skip-memory-update-on-supply   memory stale, value later lost
+drop-update-broadcast          stale copy in a write-update protocol
+=============================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import Ctx, Outcome
+from ..core.symbols import Op
+
+__all__ = [
+    "Mutation",
+    "MutatedProtocol",
+    "MUTATIONS",
+    "mutants_for",
+    "get_mutant",
+]
+
+#: Signature of a mutation's outcome rewriter.
+Transform = Callable[[ProtocolSpec, str, Op, Ctx, Outcome], Outcome]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One named protocol bug.
+
+    ``applies_to`` restricts the mutation to protocols where it is
+    meaningful (e.g. dropping an invalidation only makes sense for
+    write-invalidate protocols); ``None`` applies everywhere.
+    """
+
+    key: str
+    description: str
+    transform: Transform
+    applies_to: frozenset[str] | None = None
+
+    def applicable_to(self, spec: ProtocolSpec) -> bool:
+        """Whether this mutation is meaningful for *spec*."""
+        return self.applies_to is None or spec.name in self.applies_to
+
+
+class MutatedProtocol(ProtocolSpec):
+    """A base protocol with one :class:`Mutation` applied to its outcomes."""
+
+    def __init__(self, base: ProtocolSpec, mutation: Mutation) -> None:
+        self.base = base
+        self.mutation = mutation
+        self.name = f"{base.name}+{mutation.key}"
+        self.full_name = f"{base.full_name} with bug: {mutation.description}"
+        self.states = base.states
+        self.invalid = base.invalid
+        self.uses_sharing_detection = base.uses_sharing_detection
+        self.operations = base.operations
+        self.error_patterns = base.error_patterns
+        self.owner_states = base.owner_states
+        self.exclusive_states = base.exclusive_states
+        self.shared_fill_state = base.shared_fill_state
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        outcome = self.base.react(state, op, ctx)
+        return self.mutation.transform(self.base, state, op, ctx, outcome)
+
+    def applicable(self, state: str, op: Op) -> bool:
+        """Operation applicability; see :meth:`ProtocolSpec.applicable`."""
+        return self.base.applicable(state, op)
+
+
+# ----------------------------------------------------------------------
+# Transform implementations
+# ----------------------------------------------------------------------
+def _drop_invalidation(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """On writes, remote copies are no longer invalidated (they silently
+    keep their -- now stale -- data)."""
+    if op is not Op.WRITE:
+        return outcome
+    kept = {
+        obs: r for obs, r in outcome.observers.items() if r.next_state != base.invalid
+    }
+    if len(kept) == len(outcome.observers):
+        return outcome
+    return replace(outcome, observers=kept)
+
+
+def _skip_replacement_writeback(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """Replacing a modified block forgets to flush it to memory."""
+    if op is Op.REPLACE and outcome.writeback_from is not None:
+        return replace(outcome, writeback_from=None)
+    return outcome
+
+
+def _ignore_sharing_line(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """Read misses behave as if no other copy existed (broken SharedLine):
+    the block is loaded from memory in the exclusive state."""
+    if op is Op.READ and state == base.invalid and ctx.any_copy:
+        return base.react(state, op, Ctx())
+    return outcome
+
+
+def _forget_supplier_demotion(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """Caches answering a read miss forget to change their own state."""
+    if op is Op.READ and state == base.invalid and outcome.observers:
+        return replace(outcome, observers={})
+    return outcome
+
+
+def _skip_memory_update_on_supply(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """A dirty supplier no longer updates memory while servicing a read
+    miss (the requester still gets the right data cache-to-cache, but
+    memory silently stays stale)."""
+    if op is Op.READ and outcome.writeback_from is not None:
+        return replace(outcome, writeback_from=None)
+    return outcome
+
+
+def _drop_update_broadcast(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """Write-update protocols stop delivering the new value to remote
+    copies (the state machine is unchanged; only the data update is
+    lost)."""
+    if op is not Op.WRITE or not outcome.observers:
+        return outcome
+    changed = {
+        obs: (replace(r, updated=False) if r.updated else r)
+        for obs, r in outcome.observers.items()
+    }
+    if all(not r.updated for r in outcome.observers.values()):
+        return outcome
+    return replace(outcome, observers=changed)
+
+
+_INVALIDATING = frozenset(
+    {"write-once", "synapse", "berkeley", "illinois", "msi", "moesi", "mesif", "lock-msi"}
+)
+_SHARING = frozenset({"illinois", "firefly", "dragon", "moesi", "mesif"})
+_SUPPLY_WRITEBACK = frozenset(
+    {"illinois", "write-once", "synapse", "msi", "firefly", "mesif", "lock-msi"}
+)
+_DEMOTING = frozenset(
+    {"illinois", "write-once", "berkeley", "firefly", "dragon", "msi", "moesi",
+     "mesif", "lock-msi"}
+)
+_UPDATING = frozenset({"firefly", "dragon"})
+
+#: The full mutation catalog, keyed by mutation name.
+MUTATIONS: dict[str, Mutation] = {
+    m.key: m
+    for m in (
+        Mutation(
+            "drop-invalidation",
+            "writes no longer invalidate remote copies",
+            _drop_invalidation,
+            _INVALIDATING,
+        ),
+        Mutation(
+            "skip-replacement-writeback",
+            "replacing a modified block skips the write-back",
+            _skip_replacement_writeback,
+            None,
+        ),
+        Mutation(
+            "ignore-sharing-line",
+            "read misses ignore the sharing-detection function",
+            _ignore_sharing_line,
+            _SHARING,
+        ),
+        Mutation(
+            "forget-supplier-demotion",
+            "caches supplying a read miss keep their old state",
+            _forget_supplier_demotion,
+            _DEMOTING,
+        ),
+        Mutation(
+            "skip-memory-update-on-supply",
+            "dirty suppliers stop updating memory on read misses",
+            _skip_memory_update_on_supply,
+            _SUPPLY_WRITEBACK,
+        ),
+        Mutation(
+            "drop-update-broadcast",
+            "shared writes stop broadcasting the new value",
+            _drop_update_broadcast,
+            _UPDATING,
+        ),
+    )
+}
+
+
+def mutants_for(spec: ProtocolSpec) -> list[MutatedProtocol]:
+    """Every applicable mutant of *spec*, in catalog order."""
+    return [
+        MutatedProtocol(spec, mutation)
+        for mutation in MUTATIONS.values()
+        if mutation.applicable_to(spec)
+    ]
+
+
+def get_mutant(spec: ProtocolSpec, key: str) -> MutatedProtocol:
+    """The mutant of *spec* for the mutation named *key*."""
+    mutation = MUTATIONS[key]
+    if not mutation.applicable_to(spec):
+        raise ValueError(f"mutation {key!r} does not apply to {spec.name}")
+    return MutatedProtocol(spec, mutation)

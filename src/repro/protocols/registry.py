@@ -1,0 +1,62 @@
+"""Protocol registry: name-based lookup of every shipped specification.
+
+The tech-report companion of the paper ([12]) applies the methodology to
+all the Archibald & Baer protocols; :func:`all_protocols` returns
+exactly that zoo (plus the textbook MSI and MOESI baselines) in a
+deterministic order used by the E5 benchmark table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.protocol import ProtocolSpec
+from .berkeley import BerkeleyProtocol
+from .dragon import DragonProtocol
+from .firefly import FireflyProtocol
+from .illinois import IllinoisProtocol
+from .lock_msi import LockMsiProtocol
+from .mesif import MesifProtocol
+from .moesi import MoesiProtocol
+from .msi import MsiProtocol
+from .synapse import SynapseProtocol
+from .write_once import WriteOnceProtocol
+
+__all__ = ["PROTOCOLS", "get_protocol", "all_protocols", "protocol_names"]
+
+#: Factories for every shipped protocol, keyed by short name.
+PROTOCOLS: dict[str, Callable[[], ProtocolSpec]] = {
+    "write-once": WriteOnceProtocol,
+    "synapse": SynapseProtocol,
+    "berkeley": BerkeleyProtocol,
+    "illinois": IllinoisProtocol,
+    "firefly": FireflyProtocol,
+    "dragon": DragonProtocol,
+    "msi": MsiProtocol,
+    "moesi": MoesiProtocol,
+    "mesif": MesifProtocol,
+    "lock-msi": LockMsiProtocol,
+}
+
+
+def protocol_names() -> tuple[str, ...]:
+    """Short names of every shipped protocol, in registry order."""
+    return tuple(PROTOCOLS)
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Instantiate the protocol registered under *name*.
+
+    Raises ``KeyError`` with the list of known names when unknown.
+    """
+    try:
+        factory = PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(PROTOCOLS)
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+    return factory()
+
+
+def all_protocols() -> list[ProtocolSpec]:
+    """One instance of every shipped protocol, in registry order."""
+    return [factory() for factory in PROTOCOLS.values()]

@@ -1,0 +1,89 @@
+"""The Synapse N+1 protocol (Archibald & Baer [1], scheme 2).
+
+A minimal three-state write-invalidate protocol used in the Synapse N+1
+fault-tolerant multiprocessor.  Its quirk: there are no cache-to-cache
+transfers at all -- a miss on a block that is dirty in another cache
+forces the owner to flush the block to memory and *invalidate itself*;
+the requester then loads from memory.  The characteristic function is
+null.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import Ctx, INITIATOR, MEMORY, ObserverReaction, Outcome
+from ..core.symbols import Op
+
+__all__ = ["SynapseProtocol"]
+
+INVALID = "Invalid"
+VALID = "Valid"
+DIRTY = "Dirty"
+
+
+class SynapseProtocol(ProtocolSpec):
+    """Synapse N+1 write-invalidate protocol (memory-based ownership)."""
+
+    name = "synapse"
+    full_name = "Synapse N+1"
+    states = (INVALID, VALID, DIRTY)
+    invalid = INVALID
+    uses_sharing_detection = False
+    owner_states = (DIRTY,)
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(DIRTY),
+        ForbidTogether(DIRTY, VALID),
+    )
+
+    _INVALIDATE_ALL = {
+        VALID: ObserverReaction(INVALID),
+        DIRTY: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(DIRTY):
+            # No cache-to-cache transfer: the owner flushes to memory
+            # and invalidates itself; the requester (conceptually after
+            # a retry) loads the now-fresh block from memory.
+            return Outcome(
+                VALID,
+                load_from=MEMORY,
+                observers={DIRTY: ObserverReaction(INVALID)},
+                writeback_from=DIRTY,
+            )
+        return Outcome(VALID, load_from=MEMORY)
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == DIRTY:
+            return Outcome(DIRTY)
+        if state == VALID:
+            # Ownership must be acquired through memory: behaves like a
+            # write miss, invalidating every other copy.
+            return Outcome(DIRTY, observers=self._INVALIDATE_ALL)
+        # Write miss: flush a dirty owner through memory, then load the
+        # block from memory, invalidating everyone else.
+        if ctx.has(DIRTY):
+            return Outcome(
+                DIRTY,
+                load_from=MEMORY,
+                observers=self._INVALIDATE_ALL,
+                writeback_from=DIRTY,
+            )
+        return Outcome(DIRTY, load_from=MEMORY, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == DIRTY:
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

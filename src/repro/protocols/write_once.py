@@ -1,0 +1,121 @@
+"""Goodman's Write-Once protocol (Archibald & Baer [1], scheme 1).
+
+The first published snooping protocol.  Four states:
+
+* ``Invalid`` -- no copy;
+* ``Valid`` -- clean, consistent with memory, possibly shared;
+* ``Reserved`` -- written exactly once since loaded; memory is up to
+  date (the "write-once" write-through) and this is the only copy;
+* ``Dirty`` -- written more than once; the only copy, memory stale.
+
+The distinguishing feature is the *write-once* rule: the first write to
+a Valid block is written through to memory (invalidating all other
+copies); subsequent writes stay local.  Transitions never consult the
+sharing-detection function, so the characteristic function ``F`` is
+null -- this protocol exercises the paper's Corollary 1 path.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ForbidMultiple, ForbidTogether, StatePattern
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import (
+    Ctx,
+    INITIATOR,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+)
+from ..core.symbols import Op
+
+__all__ = ["WriteOnceProtocol"]
+
+INVALID = "Invalid"
+VALID = "Valid"
+RESERVED = "Reserved"
+DIRTY = "Dirty"
+
+
+class WriteOnceProtocol(ProtocolSpec):
+    """Goodman write-once write-invalidate protocol."""
+
+    name = "write-once"
+    full_name = "Write-Once (Goodman)"
+    states = (INVALID, VALID, RESERVED, DIRTY)
+    invalid = INVALID
+    uses_sharing_detection = False
+    owner_states = (DIRTY,)
+    error_patterns: tuple[StatePattern, ...] = (
+        ForbidMultiple(DIRTY),
+        ForbidMultiple(RESERVED),
+        ForbidTogether(DIRTY, VALID),
+        ForbidTogether(DIRTY, RESERVED),
+        ForbidTogether(RESERVED, VALID),
+    )
+
+    _INVALIDATE_ALL = {
+        VALID: ObserverReaction(INVALID),
+        RESERVED: ObserverReaction(INVALID),
+        DIRTY: ObserverReaction(INVALID),
+    }
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        if op is Op.READ:
+            return self._read(state, ctx)
+        if op is Op.WRITE:
+            return self._write(state, ctx)
+        return self._replace(state)
+
+    # ------------------------------------------------------------------
+    def _read(self, state: str, ctx: Ctx) -> Outcome:
+        if state != INVALID:
+            return Outcome(state)
+        if ctx.has(DIRTY):
+            # The dirty holder supplies the block, writes it back, and
+            # both copies become Valid.
+            return Outcome(
+                VALID,
+                load_from=from_cache(DIRTY),
+                observers={DIRTY: ObserverReaction(VALID)},
+                writeback_from=DIRTY,
+            )
+        # Memory is up to date (Reserved keeps memory fresh); any
+        # Reserved copy loses its exclusivity.
+        return Outcome(
+            VALID,
+            load_from=MEMORY,
+            observers={RESERVED: ObserverReaction(VALID)},
+        )
+
+    def _write(self, state: str, ctx: Ctx) -> Outcome:
+        if state == DIRTY:
+            return Outcome(DIRTY)
+        if state == RESERVED:
+            # Second write: go dirty without a bus transaction.
+            return Outcome(DIRTY)
+        if state == VALID:
+            # The write-once rule: write through to memory and
+            # invalidate every other copy.
+            return Outcome(
+                RESERVED,
+                observers=self._INVALIDATE_ALL,
+                write_through=True,
+            )
+        # Write miss: fetch the block (from the dirty owner if any,
+        # flushing it to memory on the way), invalidate all other
+        # copies, load Dirty.
+        if ctx.has(DIRTY):
+            return Outcome(
+                DIRTY,
+                load_from=from_cache(DIRTY),
+                observers=self._INVALIDATE_ALL,
+                writeback_from=DIRTY,
+            )
+        return Outcome(DIRTY, load_from=MEMORY, observers=self._INVALIDATE_ALL)
+
+    def _replace(self, state: str) -> Outcome:
+        if state == DIRTY:
+            return Outcome(INVALID, writeback_from=INITIATOR)
+        return Outcome(INVALID)

@@ -1,0 +1,57 @@
+"""Executable snooping-bus multiprocessor simulator.
+
+A concrete implementation of the system the paper's FSM model
+abstracts: per-processor direct-mapped caches, a serializing snooping
+bus, main memory, and a golden-value checker enforcing Definition 3 on
+every load.  The simulator executes the *same* protocol specifications
+the symbolic verifier analyses.
+"""
+
+from .bus import Bus, BusStats
+from .cache import Cache, CacheLine
+from .checker import CoherenceViolation, GoldenChecker
+from .hierarchy import Cluster, HierarchicalSystem, HierarchyStats
+from .memory import MainMemory
+from .system import CoherenceViolationError, SimulationReport, System, SystemStats
+from .trace import Access, AccessKind, Trace
+from .traceio import dumps, load_trace, loads, save_trace
+from .workloads import (
+    WORKLOADS,
+    hot_block,
+    locking,
+    make_workload,
+    migratory,
+    producer_consumer,
+    uniform_random,
+)
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "Bus",
+    "BusStats",
+    "Cache",
+    "CacheLine",
+    "Cluster",
+    "CoherenceViolation",
+    "CoherenceViolationError",
+    "HierarchicalSystem",
+    "HierarchyStats",
+    "GoldenChecker",
+    "MainMemory",
+    "SimulationReport",
+    "System",
+    "SystemStats",
+    "Trace",
+    "WORKLOADS",
+    "dumps",
+    "hot_block",
+    "load_trace",
+    "loads",
+    "locking",
+    "make_workload",
+    "save_trace",
+    "migratory",
+    "producer_consumer",
+    "uniform_random",
+]

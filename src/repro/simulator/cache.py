@@ -1,0 +1,170 @@
+"""Per-processor snooping cache for the executable simulator.
+
+A set-associative cache (default: direct-mapped) of protocol-state-
+annotated lines with LRU replacement within each set.  The cache itself
+knows nothing about the coherence protocol -- it stores lines, answers
+snoop queries about a block's state, and applies the state and data
+changes the bus hands it.  All protocol decisions are made by the bus
+from the shared :class:`~repro.core.protocol.ProtocolSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheLine", "Cache"]
+
+
+@dataclass
+class CacheLine:
+    """One cache line: a block address, its FSM state, and its value."""
+
+    addr: int
+    state: str
+    value: int
+
+
+class Cache:
+    """Set-associative cache with protocol-state-tagged lines.
+
+    ``num_sets`` selects the set by ``addr % num_sets``; each set holds
+    up to ``assoc`` lines, evicted least-recently-used first.  A line
+    whose state the protocol cannot replace (e.g. a locked line) is
+    skipped by the victim search -- it pins its way.
+    """
+
+    def __init__(
+        self, cache_id: int, num_sets: int, invalid: str, *, assoc: int = 1
+    ) -> None:
+        if num_sets < 1:
+            raise ValueError("a cache needs at least one set")
+        if assoc < 1:
+            raise ValueError("associativity must be at least one")
+        self.cache_id = cache_id
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.invalid = invalid
+        #: Lines per set, ordered least- to most-recently used.
+        self._sets: dict[int, list[CacheLine]] = {}
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.num_sets * self.assoc
+
+    def set_index(self, addr: int) -> int:
+        """Set selection: low-order block-address bits."""
+        return addr % self.num_sets
+
+    def _ways(self, addr: int) -> list[CacheLine]:
+        return self._sets.setdefault(self.set_index(addr), [])
+
+    def line_for(self, addr: int) -> CacheLine | None:
+        """The line currently holding *addr*, if any (in any state)."""
+        for line in self._ways(addr):
+            if line.addr == addr:
+                return line
+        return None
+
+    def state_of(self, addr: int) -> str:
+        """FSM state of *addr* in this cache (invalid when absent)."""
+        line = self.line_for(addr)
+        if line is None or line.state == self.invalid:
+            return self.invalid
+        return line.state
+
+    def holds(self, addr: int) -> bool:
+        """True iff this cache has a valid copy of *addr*."""
+        return self.state_of(addr) != self.invalid
+
+    def victim_for(self, addr: int, replaceable=None) -> CacheLine | None:
+        """The LRU valid line that must leave before *addr* can fill.
+
+        Returns ``None`` when no eviction is needed: the block is
+        already resident, an invalid way can be reused, or a way is
+        free.  ``replaceable`` is an optional predicate over FSM states;
+        lines it rejects (e.g. locked lines) pin their way and the
+        least-recently-used *replaceable* line is chosen instead.  When
+        every way is pinned the first pinned line is returned -- the
+        caller detects the pin via the predicate and stalls.
+        """
+        ways = self._ways(addr)
+        if any(line.addr == addr for line in ways):
+            return None
+        if len(ways) < self.assoc:
+            return None
+        for line in ways:  # LRU first
+            if line.state == self.invalid:
+                return None  # reusable way
+        if replaceable is not None:
+            for line in ways:
+                if replaceable(line.state):
+                    return line
+        return ways[0]
+
+    def touch(self, addr: int) -> None:
+        """Mark *addr* most recently used (processor-side access)."""
+        ways = self._ways(addr)
+        for i, line in enumerate(ways):
+            if line.addr == addr:
+                ways.append(ways.pop(i))
+                return
+
+    # ------------------------------------------------------------------
+    def fill(self, addr: int, state: str, value: int) -> None:
+        """Install *addr* as the MRU line of its set.
+
+        Reuses the block's own line or an invalid way; otherwise a way
+        must be free (the caller evicts the victim first).
+        """
+        ways = self._ways(addr)
+        for i, line in enumerate(ways):
+            if line.addr == addr:
+                ways.pop(i)
+                ways.append(CacheLine(addr, state, value))
+                return
+        for i, line in enumerate(ways):
+            if line.state == self.invalid:
+                ways.pop(i)
+                break
+        if len(ways) >= self.assoc:
+            raise RuntimeError(
+                f"cache {self.cache_id}: set {self.set_index(addr)} is full; "
+                "evict a victim before filling"
+            )
+        ways.append(CacheLine(addr, state, value))
+
+    def set_state(self, addr: int, state: str) -> None:
+        """Change the FSM state of the line holding *addr*."""
+        line = self.line_for(addr)
+        if line is None:
+            if state != self.invalid:
+                raise KeyError(f"cache {self.cache_id} does not hold {addr:#x}")
+            return
+        line.state = state
+
+    def set_value(self, addr: int, value: int) -> None:
+        """Change the data value of the line holding *addr*."""
+        line = self.line_for(addr)
+        if line is None:
+            raise KeyError(f"cache {self.cache_id} does not hold {addr:#x}")
+        line.value = value
+
+    def evict(self, addr: int) -> None:
+        """Drop *addr* from the cache (state becomes invalid)."""
+        line = self.line_for(addr)
+        if line is not None:
+            line.state = self.invalid
+
+    def valid_lines(self) -> list[CacheLine]:
+        """All lines currently holding a valid copy."""
+        return [
+            line
+            for ways in self._sets.values()
+            for line in ways
+            if line.state != self.invalid
+        ]

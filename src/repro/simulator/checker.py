@@ -1,0 +1,60 @@
+"""Golden-value checker: the simulator's data-consistency oracle.
+
+Definition 3 of the paper, made concrete: every read must return the
+value of the most recent write to that block (accesses are atomic and
+bus-serialized, so "most recent" is well defined).  The checker tracks
+the latest version written per block and compares every read against
+it; a mismatch is exactly a "processor accessed its local copy with
+value obsolete".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .trace import Access
+
+__all__ = ["CoherenceViolation", "GoldenChecker"]
+
+
+@dataclass(frozen=True)
+class CoherenceViolation:
+    """One detected read of stale data."""
+
+    index: int
+    access: Access
+    expected: int
+    observed: int
+
+    def __str__(self) -> str:
+        return (
+            f"access #{self.index} ({self.access}): read version "
+            f"{self.observed}, but the latest write was version {self.expected}"
+        )
+
+
+class GoldenChecker:
+    """Tracks per-block golden values and validates every read."""
+
+    def __init__(self) -> None:
+        self._golden: dict[int, int] = {}
+        #: Number of reads validated.
+        self.checked = 0
+
+    def expected(self, addr: int) -> int:
+        """Latest version written to *addr* (0 if never written)."""
+        return self._golden.get(addr, 0)
+
+    def record_write(self, addr: int, version: int) -> None:
+        """Note that *version* is now the latest value of *addr*."""
+        self._golden[addr] = version
+
+    def check_read(
+        self, index: int, access: Access, observed: int
+    ) -> CoherenceViolation | None:
+        """Validate one read; returns a violation record on mismatch."""
+        self.checked += 1
+        expected = self.expected(access.addr)
+        if observed != expected:
+            return CoherenceViolation(index, access, expected, observed)
+        return None

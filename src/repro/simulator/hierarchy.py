@@ -1,0 +1,596 @@
+"""A two-level (hierarchical) snooping multiprocessor.
+
+The paper's conclusion names "protocols for hierarchically organized
+machines" as a target the reduced verification complexity makes
+reachable, and its reference [9] (the Encore Gigamax verification) is
+exactly such a machine: processors grouped into *clusters*, each with a
+shared level-2 cache; an intra-cluster bus keeps the L1s coherent, a
+global bus keeps the cluster L2s coherent, and each L2 plays two roles
+at once -- *memory* for its cluster bus and *cache* on the global bus.
+
+This module builds that machine generically over any hierarchy-capable
+:class:`~repro.core.protocol.ProtocolSpec` (one defining
+``exclusive_states`` and ``shared_fill_state``: the MESI family).  The
+same protocol runs at both levels:
+
+* an L1 miss is served on the cluster bus, with the L2 acting as the
+  cluster's memory (after the L2 itself acquires the block on the
+  global bus if needed -- *inclusion* is maintained);
+* every L1 write is preceded by a global transaction from the L2, which
+  acquires system-wide exclusivity (a no-op when the L2 is already in
+  an exclusive state);
+* global snoop reactions are propagated *into* the observing clusters
+  (demoting or invalidating their L1 copies), and an L2 answering the
+  global bus supplies the freshest value held anywhere in its cluster;
+* evicting an L2 line first flushes and back-invalidates the cluster
+  (inclusion again).
+
+Every read is still validated by the golden-value oracle, and
+:meth:`HierarchicalSystem.audit` checks the structural invariants
+(inclusion, per-level protocol state compatibility) explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.errors import concrete_pattern_violations
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import Ctx, INITIATOR, Outcome
+from ..core.symbols import CountCase, Op
+from .bus import Bus
+from .cache import Cache
+from .checker import CoherenceViolation, GoldenChecker
+from .memory import MainMemory
+from .system import CoherenceViolationError
+
+__all__ = ["HierarchyStats", "Cluster", "HierarchicalSystem"]
+
+
+class _L2MemoryAdapter:
+    """Presents a cluster's L2 cache as the cluster bus's "memory".
+
+    Inclusion guarantees the L2 holds every block its cluster caches,
+    so reads through this adapter always find a line.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> int:
+        """Read the block value (adapter for the cluster bus)."""
+        line = self._cluster.l2.line_for(addr)
+        if line is None:
+            raise AssertionError(
+                f"inclusion violated: cluster {self._cluster.cluster_id} bus "
+                f"read block {addr:#x} absent from its L2"
+            )
+        self.reads += 1
+        return line.value
+
+    def write(self, addr: int, value: int) -> None:
+        """Write the block value (adapter for the cluster bus)."""
+        self.writes += 1
+        self._cluster.l2.set_value(addr, value)
+
+    def peek(self, addr: int) -> int:
+        """Read without counting an access."""
+        line = self._cluster.l2.line_for(addr)
+        return 0 if line is None else line.value
+
+
+class _ClusterProtocolView(ProtocolSpec):
+    """The protocol as seen by one cluster bus.
+
+    Identical to the base protocol except for the *hierarchical sharing
+    correction*: a read miss with no local copy may only fill an
+    exclusive state when the cluster's L2 is itself exclusive system-
+    wide; otherwise remote clusters may hold the block and the fill is
+    demoted to the protocol's shared fill state, supplied by the L2.
+
+    The view is stateful in one narrow way: the cluster sets
+    ``current_addr`` immediately before each bus transaction (the
+    reaction interface is address-free, but the correction depends on
+    the L2 state of the transacted block).
+    """
+
+    def __init__(self, base: ProtocolSpec, cluster: "Cluster") -> None:
+        self.base = base
+        self.cluster = cluster
+        self.current_addr: int | None = None
+        self.name = f"{base.name}@cluster{cluster.cluster_id}"
+        self.full_name = base.full_name
+        self.states = base.states
+        self.invalid = base.invalid
+        self.uses_sharing_detection = base.uses_sharing_detection
+        self.operations = base.operations
+        self.error_patterns = base.error_patterns
+        self.owner_states = base.owner_states
+        self.exclusive_states = base.exclusive_states
+        self.shared_fill_state = base.shared_fill_state
+
+    def applicable(self, state: str, op: Op) -> bool:
+        """Operation applicability; see :meth:`ProtocolSpec.applicable`."""
+        return self.base.applicable(state, op)
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        """Protocol reaction; see :meth:`ProtocolSpec.react`."""
+        outcome = self.base.react(state, op, ctx)
+        if (
+            op is Op.READ
+            and state == self.invalid
+            and outcome.next_state in self.base.exclusive_states
+            and self.current_addr is not None
+        ):
+            l2_state = self.cluster.l2.state_of(self.current_addr)
+            if l2_state != self.invalid and l2_state not in self.base.exclusive_states:
+                # Remote clusters may hold the block: demote the fill.
+                from ..core.reactions import MEMORY
+
+                assert self.base.shared_fill_state is not None
+                return Outcome(self.base.shared_fill_state, load_from=MEMORY)
+        return outcome
+
+
+@dataclass
+class HierarchyStats:
+    """Hierarchy-specific counters (cluster buses have their own)."""
+
+    global_transactions: int = 0
+    global_cache_to_cache: int = 0
+    global_invalidations: int = 0
+    back_invalidations: int = 0
+    l2_evictions: int = 0
+    l1_replacements: int = 0
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    cluster_hits: int = 0
+    global_misses: int = 0
+
+
+class Cluster:
+    """One cluster: L1 caches, an intra-cluster bus, and the L2."""
+
+    def __init__(
+        self,
+        cluster_id: int,
+        spec: ProtocolSpec,
+        n_l1: int,
+        *,
+        l1_sets: int,
+        l1_assoc: int,
+        l2_sets: int,
+        l2_assoc: int,
+    ) -> None:
+        self.cluster_id = cluster_id
+        self.spec = spec
+        self.l1s = [
+            Cache(i, l1_sets, spec.invalid, assoc=l1_assoc) for i in range(n_l1)
+        ]
+        self.l2 = Cache(cluster_id, l2_sets, spec.invalid, assoc=l2_assoc)
+        self.adapter = _L2MemoryAdapter(self)
+        self.view = _ClusterProtocolView(spec, self)
+        self.bus = Bus(self.view, self.l1s, self.adapter)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def l2_state(self, addr: int) -> str:
+        """FSM state of the block in this cluster's L2."""
+        return self.l2.state_of(addr)
+
+    def has_valid(self, addr: int) -> bool:
+        """True iff this cluster's L2 holds a valid copy."""
+        return self.l2.holds(addr)
+
+    def freshest_value(self, addr: int) -> int:
+        """The most recent value of *addr* held anywhere in the cluster.
+
+        An L1 in an owner state holds it; otherwise the L2's copy is
+        authoritative (write-invalidate protocols never leave a clean L1
+        fresher than its L2).
+        """
+        for l1 in self.l1s:
+            if l1.state_of(addr) in self.spec.owner_states:
+                line = l1.line_for(addr)
+                assert line is not None
+                return line.value
+        line = self.l2.line_for(addr)
+        if line is None:
+            raise AssertionError(
+                f"cluster {self.cluster_id} asked for a value of {addr:#x} "
+                "it does not hold"
+            )
+        return line.value
+
+    def local_transact(
+        self, l1_index: int, op: Op, addr: int, store_value: int | None
+    ) -> int | None:
+        """One transaction on the cluster bus (with address context)."""
+        self.view.current_addr = addr
+        try:
+            return self.bus.transact(l1_index, op, addr, store_value)
+        finally:
+            self.view.current_addr = None
+
+    # ------------------------------------------------------------------
+    def flush_to_l2(self, addr: int) -> None:
+        """Pull the freshest cluster value of *addr* into the L2 line."""
+        if self.l2.line_for(addr) is not None:
+            self.l2.set_value(addr, self.freshest_value(addr))
+
+    def back_invalidate(self, addr: int) -> int:
+        """Drop every L1 copy of *addr*; returns how many were dropped."""
+        dropped = 0
+        for l1 in self.l1s:
+            if l1.holds(addr):
+                l1.evict(addr)
+                dropped += 1
+        return dropped
+
+    def apply_external(
+        self, addr: int, outcome: Outcome, l2_pre: str, store_value: int | None
+    ) -> int:
+        """Propagate a global snoop reaction into the cluster's L1s.
+
+        An L1 state with no explicit reaction inherits the reaction of
+        the cluster's (pre-transaction) L2 state **only if it is an
+        owner/exclusive state** -- the L2 summarizes its cluster on the
+        global bus, so losing global exclusivity/ownership must demote
+        the L1 that embodied it, while weaker (shared-like) L1 copies
+        are unaffected by a remote read.  Returns the number of L1
+        copies invalidated.
+        """
+        invalidated = 0
+        store = store_value is not None
+        spec = self.spec
+        strong = set(spec.owner_states) | set(spec.exclusive_states)
+        for l1 in self.l1s:
+            state = l1.state_of(addr)
+            if state == spec.invalid:
+                continue
+            reaction = outcome.observers.get(state)
+            if reaction is None and state in strong:
+                reaction = outcome.observers.get(l2_pre)
+            if reaction is None:
+                continue
+            if reaction.next_state == self.spec.invalid:
+                l1.evict(addr)
+                invalidated += 1
+                continue
+            l1.set_state(addr, reaction.next_state)
+            if store and reaction.updated:
+                assert store_value is not None
+                l1.set_value(addr, store_value)
+        return invalidated
+
+
+class HierarchicalSystem:
+    """A cluster-based multiprocessor with two levels of snooping.
+
+    ``n_clusters`` clusters of ``l1_per_cluster`` processors each.
+    Processor ids are global: processor ``p`` lives in cluster
+    ``p // l1_per_cluster``.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        n_clusters: int,
+        l1_per_cluster: int,
+        *,
+        l1_sets: int = 4,
+        l1_assoc: int = 1,
+        l2_sets: int = 32,
+        l2_assoc: int = 2,
+        strict: bool = True,
+    ) -> None:
+        if n_clusters < 1 or l1_per_cluster < 1:
+            raise ValueError("need at least one cluster and one processor each")
+        if not spec.exclusive_states or spec.shared_fill_state is None:
+            raise ValueError(
+                f"{spec.name} is not hierarchy-capable: it must define "
+                "exclusive_states and shared_fill_state"
+            )
+        if Op.LOCK in spec.operations:
+            raise ValueError("locking protocols are not supported hierarchically")
+        self.spec = spec
+        self.strict = strict
+        self.l1_per_cluster = l1_per_cluster
+        self.memory = MainMemory()
+        self.clusters = [
+            Cluster(
+                ci,
+                spec,
+                l1_per_cluster,
+                l1_sets=l1_sets,
+                l1_assoc=l1_assoc,
+                l2_sets=l2_sets,
+                l2_assoc=l2_assoc,
+            )
+            for ci in range(n_clusters)
+        ]
+        self.checker = GoldenChecker()
+        self.stats = HierarchyStats()
+        self._violations: list[CoherenceViolation] = []
+        self._next_version = 1
+        self._access_index = 0
+        self._touched: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        """Total number of processors in the system."""
+        return len(self.clusters) * self.l1_per_cluster
+
+    def violations(self) -> tuple[CoherenceViolation, ...]:
+        """Coherence violations recorded so far."""
+        return tuple(self._violations)
+
+    def _locate(self, pid: int) -> tuple[Cluster, int]:
+        if not (0 <= pid < self.n_processors):
+            raise ValueError(f"no processor {pid}")
+        return self.clusters[pid // self.l1_per_cluster], pid % self.l1_per_cluster
+
+    # ------------------------------------------------------------------
+    # Global bus
+    # ------------------------------------------------------------------
+    def _global_ctx(self, ci: int, addr: int) -> tuple[Ctx, list[tuple[int, str]]]:
+        others = [
+            (cj, cluster.l2_state(addr))
+            for cj, cluster in enumerate(self.clusters)
+            if cj != ci
+        ]
+        present = frozenset(s for _, s in others if s != self.spec.invalid)
+        copies = sum(1 for _, s in others if s != self.spec.invalid)
+        case = (
+            CountCase.ZERO
+            if copies == 0
+            else (CountCase.ONE if copies == 1 else CountCase.MANY)
+        )
+        return Ctx(present=present, copies=case), others
+
+    def _responder(self, others: list[tuple[int, str]], symbol: str) -> Cluster:
+        for cj, state in others:
+            if state == symbol:
+                return self.clusters[cj]
+        raise AssertionError(f"no cluster holds the block in state {symbol}")
+
+    def _global_transact(
+        self, ci: int, op: Op, addr: int, store_value: int | None
+    ) -> None:
+        """One transaction on the global (inter-cluster) bus."""
+        spec = self.spec
+        cluster = self.clusters[ci]
+        state = cluster.l2_state(addr)
+        ctx, others = self._global_ctx(ci, addr)
+        outcome = spec.react(state, op, ctx)
+        assert not outcome.stalled, "hierarchy excludes stalling protocols"
+
+        if (
+            outcome.load_from is not None
+            or outcome.writeback_from is not None
+            or outcome.write_through
+            or outcome.observers
+        ):
+            self.stats.global_transactions += 1
+
+        # Phase 1: write-back into real memory.
+        if outcome.writeback_from is not None:
+            if outcome.writeback_from == INITIATOR:
+                self.memory.write(addr, cluster.freshest_value(addr))
+            else:
+                responder = self._responder(others, outcome.writeback_from)
+                self.memory.write(addr, responder.freshest_value(addr))
+
+        # Phase 2: L2 fill.
+        if outcome.load_from is not None:
+            if outcome.load_from.kind == "memory":
+                fill_value = self.memory.read(addr)
+            else:
+                responder = self._responder(others, outcome.load_from.symbol or "")
+                fill_value = responder.freshest_value(addr)
+                self.stats.global_cache_to_cache += 1
+            cluster.l2.fill(addr, outcome.next_state, fill_value)
+
+        # Phase 3: a write-through protocol pushes the new value down.
+        if op is Op.WRITE and outcome.write_through:
+            assert store_value is not None
+            self.memory.write(addr, store_value)
+
+        # Phase 4: the other clusters snoop and react, inside and out.
+        for cj, other_state in others:
+            if other_state == spec.invalid:
+                continue
+            other = self.clusters[cj]
+            reaction = outcome.observers.get(other_state)
+            if reaction is None:
+                continue
+            if reaction.next_state == spec.invalid:
+                other.flush_to_l2(addr)  # preserve the value ordering
+                self.stats.back_invalidations += other.back_invalidate(addr)
+                other.l2.evict(addr)
+                self.stats.global_invalidations += 1
+                continue
+            # A demotion may strip ownership from an L1 inside the
+            # cluster: pull the freshest value into the L2 line first so
+            # later fills from the L2 serve current data.
+            other.flush_to_l2(addr)
+            other.l2.set_state(addr, reaction.next_state)
+            if op is Op.WRITE and reaction.updated:
+                assert store_value is not None
+                other.l2.set_value(addr, store_value)
+            other.apply_external(
+                addr,
+                outcome,
+                l2_pre=other_state,
+                store_value=store_value if op is Op.WRITE else None,
+            )
+
+        # Phase 5: the initiator's L2 settles.
+        if outcome.next_state == spec.invalid:
+            cluster.l2.evict(addr)
+        else:
+            cluster.l2.set_state(addr, outcome.next_state)
+
+    # ------------------------------------------------------------------
+    # Inclusion maintenance
+    # ------------------------------------------------------------------
+    def _ensure_l2_room(self, ci: int, addr: int) -> None:
+        cluster = self.clusters[ci]
+        victim = cluster.l2.victim_for(addr)
+        if victim is None:
+            return
+        vaddr = victim.addr
+        # Inclusion: flush the freshest cluster value into the L2 line,
+        # drop every L1 copy, then retire the block on the global bus.
+        cluster.flush_to_l2(vaddr)
+        self.stats.back_invalidations += cluster.back_invalidate(vaddr)
+        self._global_transact(ci, Op.REPLACE, vaddr, None)
+        self.stats.l2_evictions += 1
+
+    def _ensure_l1_room(self, cluster: Cluster, l1_index: int, addr: int) -> None:
+        victim = cluster.l1s[l1_index].victim_for(addr)
+        if victim is not None:
+            self.stats.l1_replacements += 1
+            cluster.local_transact(l1_index, Op.REPLACE, victim.addr, None)
+
+    def _ensure_block(self, ci: int, addr: int, op: Op, store_value: int | None) -> None:
+        """Make the cluster's L2 able to serve *op* on *addr*."""
+        cluster = self.clusters[ci]
+        if op is Op.WRITE:
+            if not cluster.has_valid(addr):
+                self._ensure_l2_room(ci, addr)
+                self.stats.global_misses += 1
+            # Always run the global write step: it acquires exclusivity
+            # and is a silent no-op when the L2 already has it.
+            self._global_transact(ci, Op.WRITE, addr, store_value)
+        else:
+            if not cluster.has_valid(addr):
+                self._ensure_l2_room(ci, addr)
+                self.stats.global_misses += 1
+                self._global_transact(ci, Op.READ, addr, None)
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+    def read(self, pid: int, addr: int) -> int:
+        """Processor *pid* loads block *addr*; golden-checked."""
+        from .trace import Access, AccessKind
+
+        cluster, li = self._locate(pid)
+        ci = self.clusters.index(cluster)
+        self.stats.accesses += 1
+        self.stats.reads += 1
+        self._touched.add(addr)
+        l1 = cluster.l1s[li]
+        if l1.holds(addr):
+            self.stats.l1_hits += 1
+        else:
+            if cluster.has_valid(addr):
+                self.stats.cluster_hits += 1
+            self._ensure_l1_room(cluster, li, addr)
+            self._ensure_block(ci, addr, Op.READ, None)
+        value = cluster.local_transact(li, Op.READ, addr, None)
+        assert value is not None
+        l1.touch(addr)
+        violation = self.checker.check_read(
+            self._access_index, Access(pid, AccessKind.READ, addr), value
+        )
+        self._access_index += 1
+        if violation is not None:
+            self._violations.append(violation)
+            if self.strict:
+                raise CoherenceViolationError(violation)
+        return value
+
+    def write(self, pid: int, addr: int) -> int:
+        """Processor *pid* stores a new version into *addr*."""
+        cluster, li = self._locate(pid)
+        ci = self.clusters.index(cluster)
+        self.stats.accesses += 1
+        self.stats.writes += 1
+        self._touched.add(addr)
+        l1 = cluster.l1s[li]
+        if l1.holds(addr):
+            self.stats.l1_hits += 1
+        else:
+            if cluster.has_valid(addr):
+                self.stats.cluster_hits += 1
+            self._ensure_l1_room(cluster, li, addr)
+        version = self._next_version
+        self._next_version += 1
+        self._ensure_block(ci, addr, Op.WRITE, version)
+        cluster.local_transact(li, Op.WRITE, addr, version)
+        l1.touch(addr)
+        self.checker.record_write(addr, version)
+        self._access_index += 1
+        return version
+
+    def run(self, trace) -> tuple[int, int | None]:
+        """Execute a trace; returns (violations, first-violation index)."""
+        from .trace import AccessKind
+
+        for access in trace:
+            if access.kind is AccessKind.READ:
+                self.read(access.pid, access.addr)
+            elif access.kind is AccessKind.WRITE:
+                self.write(access.pid, access.addr)
+            else:
+                raise ValueError("hierarchical runs support reads/writes only")
+        first = self._violations[0].index if self._violations else None
+        return len(self._violations), first
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def audit(self) -> list[str]:
+        """Structural invariants over every touched block (empty = ok).
+
+        * inclusion: a valid L1 line implies a valid L2 line;
+        * L2-level state compatibility: the protocol's forbidden
+          combinations hold across cluster L2 states;
+        * L1-level compatibility within each cluster;
+        * exclusivity coupling: an L1 in an exclusive state requires its
+          L2 to be exclusive system-wide.
+        """
+        problems: list[str] = []
+        spec = self.spec
+        for addr in sorted(self._touched):
+            l2_counts: Counter[str] = Counter()
+            for cluster in self.clusters:
+                l2_state = cluster.l2_state(addr)
+                if l2_state != spec.invalid:
+                    l2_counts[l2_state] += 1
+                l1_counts: Counter[str] = Counter()
+                for l1 in cluster.l1s:
+                    state = l1.state_of(addr)
+                    if state == spec.invalid:
+                        continue
+                    l1_counts[state] += 1
+                    if l2_state == spec.invalid:
+                        problems.append(
+                            f"block {addr:#x}: inclusion violated in cluster "
+                            f"{cluster.cluster_id} (L1 {state}, L2 invalid)"
+                        )
+                    if state in spec.exclusive_states and (
+                        l2_state not in spec.exclusive_states
+                    ):
+                        problems.append(
+                            f"block {addr:#x}: L1 exclusive ({state}) without "
+                            f"an exclusive L2 ({l2_state}) in cluster "
+                            f"{cluster.cluster_id}"
+                        )
+                for message in concrete_pattern_violations(
+                    l1_counts, spec.error_patterns
+                ):
+                    problems.append(
+                        f"block {addr:#x}: cluster {cluster.cluster_id} "
+                        f"L1 states: {message}"
+                    )
+            for message in concrete_pattern_violations(l2_counts, spec.error_patterns):
+                problems.append(f"block {addr:#x}: L2 states: {message}")
+        return problems

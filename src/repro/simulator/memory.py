@@ -1,0 +1,36 @@
+"""Main memory model for the executable simulator.
+
+Stores one integer *version* per block address.  Versions are issued by
+the system's global write counter, so "the latest value" of a block is
+simply the largest version ever written to it -- which is what the
+golden checker compares reads against.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Block-granularity main memory holding version-stamped values."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, int] = {}
+        #: Number of reads serviced by memory.
+        self.reads = 0
+        #: Number of write-backs / write-throughs absorbed.
+        self.writes = 0
+
+    def read(self, addr: int) -> int:
+        """Value of block *addr* (version 0 when never written)."""
+        self.reads += 1
+        return self._blocks.get(addr, 0)
+
+    def peek(self, addr: int) -> int:
+        """Value of block *addr* without counting a memory access."""
+        return self._blocks.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Store *value* into block *addr*."""
+        self.writes += 1
+        self._blocks[addr] = value

@@ -1,0 +1,96 @@
+"""Memory access traces for the executable multiprocessor simulator.
+
+A trace is a sequence of :class:`Access` records -- which processor
+reads or writes which block address.  Traces drive the simulator of
+:mod:`repro.simulator.system`; generators for common sharing patterns
+live in :mod:`repro.simulator.workloads`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["AccessKind", "Access", "Trace"]
+
+
+class AccessKind(str, enum.Enum):
+    """A processor-issued memory reference.
+
+    ``LOCK``/``UNLOCK`` are only meaningful for protocols whose
+    operation alphabet includes the locking extension.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory reference: processor *pid* touches block *addr*."""
+
+    pid: int
+    kind: AccessKind
+    addr: int
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ValueError("processor ids are non-negative")
+        if self.addr < 0:
+            raise ValueError("block addresses are non-negative")
+
+    def __str__(self) -> str:
+        verb = {
+            AccessKind.READ: "R",
+            AccessKind.WRITE: "W",
+            AccessKind.LOCK: "L",
+            AccessKind.UNLOCK: "U",
+        }[self.kind]
+        return f"P{self.pid} {verb} {self.addr:#x}"
+
+
+class Trace(Sequence[Access]):
+    """An immutable sequence of accesses with convenience statistics."""
+
+    def __init__(self, accesses: Iterable[Access]) -> None:
+        self._accesses = tuple(accesses)
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Trace(self._accesses[index])
+        return self._accesses[index]
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self._accesses)
+
+    @property
+    def processors(self) -> int:
+        """Number of distinct processors referenced (max pid + 1)."""
+        return max((a.pid for a in self._accesses), default=-1) + 1
+
+    @property
+    def addresses(self) -> frozenset[int]:
+        """Distinct block addresses touched."""
+        return frozenset(a.addr for a in self._accesses)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are writes."""
+        if not self._accesses:
+            return 0.0
+        writes = sum(1 for a in self._accesses if a.kind is AccessKind.WRITE)
+        return writes / len(self._accesses)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"trace: {len(self)} accesses, {self.processors} processors, "
+            f"{len(self.addresses)} blocks, "
+            f"{self.write_fraction:.0%} writes"
+        )

@@ -1,0 +1,192 @@
+"""Synthetic workload (trace) generators.
+
+The paper's introduction motivates verification by the incompleteness
+of trace-driven simulation; these generators provide the sharing
+patterns such simulations typically use (and that experiment E6 uses as
+the testing baseline):
+
+* :func:`uniform_random` -- uncorrelated accesses over a block pool;
+* :func:`hot_block` -- a heavily contended shared block plus private
+  working sets (typical lock/counter behaviour);
+* :func:`migratory` -- a data object read-modify-written by one
+  processor at a time (critical-section migration);
+* :func:`producer_consumer` -- one writer, many readers.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .trace import Access, AccessKind, Trace
+
+__all__ = [
+    "uniform_random",
+    "hot_block",
+    "migratory",
+    "producer_consumer",
+    "locking",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+def uniform_random(
+    n_processors: int,
+    length: int,
+    *,
+    n_blocks: int = 16,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+) -> Trace:
+    """Uncorrelated random accesses across a shared block pool."""
+    rng = random.Random(seed)
+    accesses = []
+    for _ in range(length):
+        pid = rng.randrange(n_processors)
+        addr = rng.randrange(n_blocks)
+        kind = AccessKind.WRITE if rng.random() < write_fraction else AccessKind.READ
+        accesses.append(Access(pid, kind, addr))
+    return Trace(accesses)
+
+
+def hot_block(
+    n_processors: int,
+    length: int,
+    *,
+    hot_fraction: float = 0.5,
+    private_blocks: int = 4,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+) -> Trace:
+    """One contended shared block; the rest of the traffic is private.
+
+    Block 0 is the hot block; each processor additionally owns
+    ``private_blocks`` blocks nobody else touches.
+    """
+    rng = random.Random(seed)
+    accesses = []
+    for _ in range(length):
+        pid = rng.randrange(n_processors)
+        if rng.random() < hot_fraction:
+            addr = 0
+        else:
+            addr = 1 + pid * private_blocks + rng.randrange(private_blocks)
+        kind = AccessKind.WRITE if rng.random() < write_fraction else AccessKind.READ
+        accesses.append(Access(pid, kind, addr))
+    return Trace(accesses)
+
+
+def migratory(
+    n_processors: int,
+    length: int,
+    *,
+    n_blocks: int = 4,
+    burst: int = 4,
+    seed: int = 0,
+) -> Trace:
+    """Migratory sharing: one processor at a time read-modify-writes.
+
+    Each burst is a read followed by writes from one processor before
+    the object "migrates" to a random next processor -- the pattern that
+    exercises ownership hand-off (Dirty supplier) transitions.
+    """
+    rng = random.Random(seed)
+    accesses = []
+    pid = 0
+    while len(accesses) < length:
+        addr = rng.randrange(n_blocks)
+        accesses.append(Access(pid, AccessKind.READ, addr))
+        for _ in range(burst - 1):
+            if len(accesses) >= length:
+                break
+            accesses.append(Access(pid, AccessKind.WRITE, addr))
+        pid = rng.randrange(n_processors)
+    return Trace(accesses[:length])
+
+
+def producer_consumer(
+    n_processors: int,
+    length: int,
+    *,
+    n_blocks: int = 2,
+    batch: int = 3,
+    seed: int = 0,
+) -> Trace:
+    """Processor 0 produces (writes); the others consume (read).
+
+    The pattern that stresses invalidation/update propagation: every
+    consumer must observe each newly produced value.
+    """
+    rng = random.Random(seed)
+    accesses = []
+    while len(accesses) < length:
+        addr = rng.randrange(n_blocks)
+        accesses.append(Access(0, AccessKind.WRITE, addr))
+        for _ in range(batch):
+            if len(accesses) >= length:
+                break
+            pid = 1 + rng.randrange(max(1, n_processors - 1))
+            accesses.append(Access(pid % n_processors, AccessKind.READ, addr))
+    return Trace(accesses[:length])
+
+
+def locking(
+    n_processors: int,
+    length: int,
+    *,
+    n_mutexes: int = 2,
+    cs_writes: int = 2,
+    seed: int = 0,
+) -> Trace:
+    """Critical sections on mutex blocks (for LOCK/UNLOCK protocols).
+
+    Each burst is ``LOCK m; W m ...; R m; UNLOCK m`` from a random
+    processor.  Only meaningful for protocols whose operation alphabet
+    includes the locking extension; on plain protocols
+    :meth:`~repro.simulator.system.System.run` would reject the trace.
+    """
+    rng = random.Random(seed)
+
+    def burst(pid: int) -> list[Access]:
+        addr = rng.randrange(n_mutexes)
+        return (
+            [Access(pid, AccessKind.LOCK, addr)]
+            + [Access(pid, AccessKind.WRITE, addr) for _ in range(cs_writes)]
+            + [Access(pid, AccessKind.READ, addr), Access(pid, AccessKind.UNLOCK, addr)]
+        )
+
+    # Interleave per-processor programs so critical sections genuinely
+    # overlap and lock contention (stalls) actually occurs.
+    programs: list[list[Access]] = [[] for _ in range(n_processors)]
+    accesses: list[Access] = []
+    while len(accesses) < length:
+        pid = rng.randrange(n_processors)
+        if not programs[pid]:
+            programs[pid] = burst(pid)
+        accesses.append(programs[pid].pop(0))
+    return Trace(accesses[:length])
+
+
+#: Name-indexed workload factories with uniform signatures
+#: ``(n_processors, length, seed) -> Trace``.
+WORKLOADS = {
+    "uniform": lambda n, length, seed=0: uniform_random(n, length, seed=seed),
+    "hot-block": lambda n, length, seed=0: hot_block(n, length, seed=seed),
+    "migratory": lambda n, length, seed=0: migratory(n, length, seed=seed),
+    "producer-consumer": lambda n, length, seed=0: producer_consumer(
+        n, length, seed=seed
+    ),
+}
+
+
+def make_workload(name: str, n_processors: int, length: int, seed: int = 0) -> Trace:
+    """Build a named workload trace."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+        ) from None
+    return factory(n_processors, length, seed)

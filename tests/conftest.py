@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.essential import ExpansionResult, explore
+from repro.protocols.registry import all_protocols, get_protocol, protocol_names
+
+
+from tests.helpers import build_state  # noqa: F401  (re-exported fixture helper)
+
+
+@pytest.fixture(scope="session")
+def illinois():
+    return get_protocol("illinois")
+
+
+@pytest.fixture(scope="session")
+def every_protocol():
+    return all_protocols()
+
+
+@pytest.fixture(scope="session")
+def explored_augmented() -> dict[str, ExpansionResult]:
+    """Augmented expansion results for every protocol (computed once)."""
+    return {name: explore(get_protocol(name)) for name in protocol_names()}
+
+
+@pytest.fixture(scope="session")
+def explored_structural() -> dict[str, ExpansionResult]:
+    """Structural (non-augmented) expansion results for every protocol."""
+    return {
+        name: explore(get_protocol(name), augmented=False)
+        for name in protocol_names()
+    }
+
+
+@pytest.fixture(scope="session")
+def illinois_result(explored_augmented) -> ExpansionResult:
+    return explored_augmented["illinois"]

@@ -1,0 +1,28 @@
+"""Test-suite helpers: compact composite-state construction."""
+
+from __future__ import annotations
+
+from repro.core.composite import CompositeState, Label, make_state, parse_class_spec
+from repro.core.symbols import DataValue, SharingLevel
+
+__all__ = ["build_state"]
+
+
+def build_state(
+    *class_specs: str,
+    sharing: SharingLevel | None = None,
+    mdata: DataValue | None = None,
+    data: dict[str, DataValue] | None = None,
+) -> CompositeState:
+    """Build a composite state from paper-style class specs.
+
+    ``build_state("Dirty", "Invalid*", sharing=SharingLevel.ONE)``
+    produces ``(Dirty, Invalid*)``.  When ``data`` maps state symbols to
+    :class:`DataValue`, labels become augmented.
+    """
+    pieces = []
+    for spec_text in class_specs:
+        symbol, rep = parse_class_spec(spec_text)
+        label_data = data.get(symbol) if data is not None else None
+        pieces.append((Label(symbol, label_data), rep))
+    return make_state(pieces, sharing=sharing, mdata=mdata)

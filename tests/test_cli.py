@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "illinois"])
+        assert args.protocol == "illinois"
+        assert not args.structural
+
+
+class TestListCommand:
+    def test_lists_zoo(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("illinois", "dragon", "write-once"):
+            assert name in out
+        assert "drop-invalidation" in out
+
+
+class TestVerifyCommand:
+    def test_verified_protocol_exits_zero(self, capsys):
+        assert main(["verify", "illinois", "--quiet"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_full_report_includes_figure4_table(self, capsys):
+        assert main(["verify", "illinois"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4 table" in out
+        assert "Global transition diagram" in out
+
+    def test_mutant_exits_nonzero(self, capsys):
+        assert main(["verify", "illinois", "--mutant", "drop-invalidation", "--quiet"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_trace_flag(self, capsys):
+        assert main(["verify", "msi", "--quiet", "--trace"]) == 0
+        assert "Expansion steps" in capsys.readouterr().out
+
+    def test_structural_flag(self, capsys):
+        assert main(["verify", "illinois", "--structural", "--quiet"]) == 0
+
+    def test_dot_output(self, tmp_path, capsys):
+        dot_file = tmp_path / "illinois.dot"
+        assert main(["verify", "illinois", "--quiet", "--dot", str(dot_file)]) == 0
+        assert dot_file.read_text().startswith("digraph")
+
+    def test_verify_all(self, capsys):
+        from repro.protocols.registry import protocol_names
+
+        assert main(["verify", "all", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("VERIFIED") == len(protocol_names())
+
+
+class TestMutantsCommand:
+    def test_all_killed(self, capsys):
+        assert main(["mutants", "msi"]) == 0
+        out = capsys.readouterr().out
+        assert "KILLED" in out
+        assert "SURVIVED" not in out
+
+
+class TestEnumerateCommand:
+    def test_enumerate(self, capsys):
+        assert main(["enumerate", "illinois", "-n", "2"]) == 0
+        assert "8 states" in capsys.readouterr().out
+
+    def test_counting_flag(self, capsys):
+        assert main(["enumerate", "illinois", "-n", "3", "--counting"]) == 0
+        assert "counting" in capsys.readouterr().out
+
+    def test_show_states(self, capsys):
+        assert main(["enumerate", "msi", "-n", "1", "--show-states"]) == 0
+        assert "Invalid" in capsys.readouterr().out
+
+
+class TestCrossvalCommand:
+    def test_crossval(self, capsys):
+        assert main(["crossval", "msi", "--max-n", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_clean_simulation(self, capsys):
+        assert main(["simulate", "illinois", "-l", "500"]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_buggy_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "illinois",
+                "-l",
+                "5000",
+                "--mutant",
+                "drop-invalidation",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 1
+        assert "violations" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare(self, capsys):
+        assert main(["compare", "illinois", "firefly"]) == 0
+        out = capsys.readouterr().out
+        assert "isomorphic" in out
+
+
+class TestFragilityCommand:
+    def test_fragility_map(self, capsys):
+        assert main(["fragility", "msi", "--picks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fragility map" in out
+        assert "broke coherence" in out

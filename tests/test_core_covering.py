@@ -1,0 +1,142 @@
+"""Unit and property tests for structural covering and containment."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.helpers import build_state
+from repro.core.composite import Label, make_state
+from repro.core.covering import contains, is_essential_among, structurally_covers
+from repro.core.operators import Rep, interval_of
+from repro.core.symbols import DataValue, SharingLevel
+
+
+class TestStructuralCovering:
+    def test_paper_example_s4_covered_by_s3(self):
+        # (Shared, Inv+) is structurally covered by (Shared+, Inv*).
+        s3 = build_state("Shared+", "Invalid*")
+        s4 = build_state("Shared", "Invalid+")
+        assert structurally_covers(s4, s3)
+        assert not structurally_covers(s3, s4)
+
+    def test_reflexive(self):
+        s = build_state("Dirty", "Invalid*")
+        assert structurally_covers(s, s)
+
+    def test_extra_class_in_big_needs_star(self):
+        small = build_state("Dirty", "Invalid*")
+        big_star = build_state("Dirty", "Shared*", "Invalid*")
+        big_one = build_state("Dirty", "Shared", "Invalid*")
+        assert structurally_covers(small, big_star)
+        assert not structurally_covers(small, big_one)
+
+    def test_extra_class_in_small_fails(self):
+        small = build_state("Dirty", "Shared", "Invalid*")
+        big = build_state("Dirty", "Invalid*")
+        assert not structurally_covers(small, big)
+
+    def test_plus_not_covered_by_one(self):
+        assert not structurally_covers(build_state("Shared+"), build_state("Shared"))
+
+    def test_data_distinguishes_labels(self):
+        fresh = make_state([(Label("Shared", DataValue.FRESH), Rep.ONE)])
+        stale = make_state([(Label("Shared", DataValue.OBSOLETE), Rep.ONE)])
+        assert not structurally_covers(fresh, stale)
+
+
+class TestContainment:
+    def test_requires_equal_sharing(self):
+        s3 = build_state("Shared+", "Invalid*", sharing=SharingLevel.MANY)
+        s4_like = build_state("Shared", "Invalid+", sharing=SharingLevel.ONE)
+        # Structurally covered, but F differs => NOT contained.  This is
+        # exactly why the paper keeps both s3 and s4 as essential states.
+        assert structurally_covers(s4_like, s3)
+        assert not contains(s4_like, s3)
+
+    def test_contained_with_equal_annotations(self):
+        small = build_state("Dirty", "Invalid+", sharing=SharingLevel.ONE)
+        big = build_state("Dirty", "Invalid*", sharing=SharingLevel.ONE)
+        assert contains(small, big)
+
+    def test_requires_equal_mdata(self):
+        small = build_state("Dirty", "Invalid+", mdata=DataValue.OBSOLETE)
+        big = build_state("Dirty", "Invalid*", mdata=DataValue.FRESH)
+        assert not contains(small, big)
+
+    def test_null_f_reduces_to_covering(self):
+        small = build_state("Valid", "Invalid+")
+        big = build_state("Valid+", "Invalid*")
+        assert contains(small, big)
+
+
+class TestEssentialAmong:
+    def test_contained_state_not_essential(self):
+        s_small = build_state("Dirty", "Invalid+")
+        s_big = build_state("Dirty", "Invalid*")
+        assert not is_essential_among(s_small, [s_small, s_big])
+        assert is_essential_among(s_big, [s_small, s_big])
+
+    def test_self_is_ignored(self):
+        s = build_state("Dirty", "Invalid*")
+        assert is_essential_among(s, [s])
+
+
+# ----------------------------------------------------------------------
+# Property-based: the covering order against its concrete semantics.
+# ----------------------------------------------------------------------
+SYMBOLS = ("A", "B", "C")
+state_strategy = st.builds(
+    lambda reps: make_state(
+        [(Label(sym), rep) for sym, rep in zip(SYMBOLS, reps)]
+    ),
+    st.tuples(*([st.sampled_from(list(Rep))] * len(SYMBOLS))),
+)
+
+
+def instances(state, max_count=3):
+    """Concrete count vectors admitted by a composite state (bounded)."""
+    from itertools import product
+
+    ranges = []
+    for sym in SYMBOLS:
+        lo, hi = interval_of(state.rep_of(Label(sym)))
+        top = max_count if hi is None else min(hi, max_count)
+        ranges.append(range(lo, top + 1))
+    return set(product(*ranges))
+
+
+class TestCoveringProperties:
+    @given(state_strategy)
+    def test_reflexive(self, s):
+        assert structurally_covers(s, s)
+
+    @given(state_strategy, state_strategy, state_strategy)
+    def test_transitive(self, a, b, c):
+        if structurally_covers(a, b) and structurally_covers(b, c):
+            assert structurally_covers(a, c)
+
+    @given(state_strategy, state_strategy)
+    def test_antisymmetric(self, a, b):
+        if structurally_covers(a, b) and structurally_covers(b, a):
+            assert a == b
+
+    @given(state_strategy, state_strategy)
+    def test_covering_implies_instance_inclusion(self, a, b):
+        """S1 ≤ S2 implies every configuration of S1 is one of S2."""
+        if structurally_covers(a, b):
+            assert instances(a) <= instances(b)
+
+    @given(state_strategy, state_strategy)
+    def test_instance_inclusion_implies_covering(self, a, b):
+        """Bounded converse: strict inclusion of instances (checked up to
+        3 caches per class plus the unbounded flags) implies covering."""
+        if not (instances(a) <= instances(b)):
+            return
+        # Unbounded/bounded mismatch breaks inclusion beyond the bound.
+        for sym in SYMBOLS:
+            hi_a = interval_of(a.rep_of(Label(sym)))[1]
+            hi_b = interval_of(b.rep_of(Label(sym)))[1]
+            if hi_a is None and hi_b is not None:
+                return
+        assert structurally_covers(a, b)

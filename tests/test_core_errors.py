@@ -1,0 +1,150 @@
+"""Unit tests for erroneous-state conditions and witnesses."""
+
+from __future__ import annotations
+
+from tests.helpers import build_state
+from repro.core.errors import (
+    ErrorKind,
+    ForbidMultiple,
+    ForbidState,
+    ForbidTogether,
+    Violation,
+    Witness,
+    check_data_consistency,
+    check_patterns,
+    concrete_pattern_violations,
+)
+from repro.core.symbols import DataValue, SharingLevel
+
+F = DataValue.FRESH
+O = DataValue.OBSOLETE
+
+
+class TestForbidMultiple:
+    def test_singleton_permitted(self):
+        pattern = ForbidMultiple("Dirty")
+        assert not pattern.violated_by_composite(build_state("Dirty", "Invalid*"))
+
+    def test_plus_flagged(self):
+        # The paper treats (Dirty+, ...) as erroneous.
+        pattern = ForbidMultiple("Dirty")
+        assert pattern.violated_by_composite(build_state("Dirty+", "Invalid*"))
+
+    def test_star_flagged(self):
+        pattern = ForbidMultiple("Dirty")
+        assert pattern.violated_by_composite(build_state("Dirty*", "Invalid*"))
+
+    def test_counts(self):
+        pattern = ForbidMultiple("Dirty")
+        assert not pattern.violated_by_counts({"Dirty": 1})
+        assert pattern.violated_by_counts({"Dirty": 2})
+
+    def test_describe(self):
+        assert "Dirty" in ForbidMultiple("Dirty").describe()
+
+
+class TestForbidTogether:
+    def test_coexistence_flagged(self):
+        pattern = ForbidTogether("Dirty", "Shared")
+        assert pattern.violated_by_composite(
+            build_state("Dirty", "Shared+", "Invalid*")
+        )
+
+    def test_single_side_permitted(self):
+        pattern = ForbidTogether("Dirty", "Shared")
+        assert not pattern.violated_by_composite(build_state("Dirty", "Invalid*"))
+        assert not pattern.violated_by_composite(build_state("Shared+", "Invalid*"))
+
+    def test_star_on_one_side_flagged(self):
+        # A possibly-present class still makes the combination reachable.
+        pattern = ForbidTogether("Dirty", "Shared")
+        assert pattern.violated_by_composite(build_state("Dirty", "Shared*"))
+
+    def test_counts(self):
+        pattern = ForbidTogether("Dirty", "Shared")
+        assert pattern.violated_by_counts({"Dirty": 1, "Shared": 1})
+        assert not pattern.violated_by_counts({"Dirty": 1, "Shared": 0})
+
+
+class TestForbidState:
+    def test_any_presence_flagged(self):
+        pattern = ForbidState("Limbo")
+        assert pattern.violated_by_composite(build_state("Limbo*"))
+        assert not pattern.violated_by_composite(build_state("Dirty"))
+        assert pattern.violated_by_counts({"Limbo": 1})
+
+
+class TestCheckPatterns:
+    def test_collects_all_matches(self):
+        patterns = (ForbidMultiple("Dirty"), ForbidTogether("Dirty", "Shared"))
+        state = build_state("Dirty+", "Shared", "Invalid*")
+        violations = check_patterns(state, patterns)
+        assert len(violations) == 2
+        assert all(v.kind is ErrorKind.INCOMPATIBLE_STATES for v in violations)
+        assert all(v.state == state for v in violations)
+
+    def test_clean_state_no_violations(self):
+        patterns = (ForbidMultiple("Dirty"),)
+        assert check_patterns(build_state("Dirty", "Invalid*"), patterns) == []
+
+
+class TestDataConsistency:
+    def test_readable_obsolete_detected(self):
+        state = build_state(
+            "Shared", "Invalid*", data={"Shared": O, "Invalid": DataValue.NODATA},
+            mdata=F,
+        )
+        violations = check_data_consistency(state, "Invalid")
+        assert any(v.kind is ErrorKind.READABLE_OBSOLETE for v in violations)
+
+    def test_value_lost_detected(self):
+        state = build_state(
+            "Invalid+", data={"Invalid": DataValue.NODATA}, mdata=O
+        )
+        violations = check_data_consistency(state, "Invalid")
+        assert [v.kind for v in violations] == [ErrorKind.VALUE_LOST]
+
+    def test_fresh_cache_copy_saves_the_value(self):
+        state = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": DataValue.NODATA},
+            mdata=O,
+        )
+        assert check_data_consistency(state, "Invalid") == []
+
+    def test_fresh_memory_is_fine(self):
+        state = build_state(
+            "Shared+", "Invalid*",
+            data={"Shared": F, "Invalid": DataValue.NODATA},
+            mdata=F,
+        )
+        assert check_data_consistency(state, "Invalid") == []
+
+    def test_structural_state_not_checked(self):
+        state = build_state("Shared+", "Invalid*")
+        assert check_data_consistency(state, "Invalid") == []
+
+
+class TestWitness:
+    def test_render_contains_path_and_violation(self):
+        s0 = build_state("Invalid+")
+        s1 = build_state("Dirty+", "Invalid*")
+        violation = Violation(ErrorKind.INCOMPATIBLE_STATES, "two dirty copies", s1)
+        witness = Witness(((s0, "W_invalid"),), s1, (violation,))
+        text = witness.render()
+        assert "W_invalid" in text
+        assert "ERRONEOUS" in text
+        assert "two dirty copies" in text
+        assert len(witness) == 1
+
+
+class TestConcreteHelpers:
+    def test_concrete_pattern_violations(self):
+        patterns = (ForbidMultiple("Dirty"),)
+        assert concrete_pattern_violations({"Dirty": 2}, patterns)
+        assert not concrete_pattern_violations({"Dirty": 1}, patterns)
+
+    def test_violation_str(self):
+        v = Violation(ErrorKind.VALUE_LOST, "gone", build_state("Invalid+"))
+        assert "value-lost" in str(v)
+        assert "gone" in str(v)

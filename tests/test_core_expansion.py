@@ -1,0 +1,212 @@
+"""Unit tests for the symbolic successor generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import build_state
+from repro.core.expansion import (
+    SymbolicExpander,
+    TransitionLabel,
+    _classify_interval,
+    _intervals_intersect,
+)
+from repro.core.operators import Rep
+from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
+from repro.protocols.illinois import IllinoisProtocol
+
+F = DataValue.FRESH
+N = DataValue.NODATA
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return SymbolicExpander(IllinoisProtocol(), augmented=True)
+
+
+@pytest.fixture(scope="module")
+def structural_expander():
+    return SymbolicExpander(IllinoisProtocol(), augmented=False)
+
+
+def targets_of(expander, state, op=None, initiator=None):
+    """Successor states filtered by transition label components."""
+    return {
+        t.target
+        for t in expander.successors(state)
+        if (op is None or t.label.op is op)
+        and (initiator is None or t.label.initiator == initiator)
+    }
+
+
+class TestHelpers:
+    def test_classify_interval(self):
+        assert _classify_interval((0, 0)) is CountCase.ZERO
+        assert _classify_interval((1, 1)) is CountCase.ONE
+        assert _classify_interval((2, None)) is CountCase.MANY
+        assert _classify_interval((3, 7)) is CountCase.MANY
+        assert _classify_interval((1, None)) is CountCase.SOME
+        assert _classify_interval((0, 5)) is CountCase.SOME
+
+    def test_intervals_intersect(self):
+        assert _intervals_intersect((0, 2), (2, 5))
+        assert not _intervals_intersect((0, 1), (2, 5))
+        assert _intervals_intersect((1, None), (3, 3))
+        assert _intervals_intersect((0, None), (5, None))
+        assert not _intervals_intersect((4, None), (0, 2))
+
+
+class TestInitialState:
+    def test_augmented_initial(self, expander):
+        init = expander.initial_state()
+        assert init == build_state(
+            "Invalid+",
+            data={"Invalid": N},
+            sharing=SharingLevel.NONE,
+            mdata=F,
+        )
+
+    def test_structural_initial(self, structural_expander):
+        init = structural_expander.initial_state()
+        assert init == build_state("Invalid+", sharing=SharingLevel.NONE)
+        assert init.mdata is None
+
+
+class TestTransitionLabel:
+    def test_rendering_matches_paper(self):
+        assert str(TransitionLabel(Op.WRITE, "Shared")) == "W_shared"
+        assert str(TransitionLabel(Op.REPLACE, "Dirty")) == "Z_dirty"
+
+
+class TestIllinoisSingleSteps:
+    """Hand-checked transitions from the paper's Appendix A.2 listing."""
+
+    def test_read_miss_on_empty_system_loads_exclusive(self, expander):
+        init = expander.initial_state()
+        targets = targets_of(expander, init, Op.READ, "Invalid")
+        assert targets == {
+            build_state(
+                "V-Ex", "Invalid*",
+                data={"V-Ex": F, "Invalid": N},
+                sharing=SharingLevel.ONE, mdata=F,
+            )
+        }
+
+    def test_write_miss_on_empty_system_loads_dirty(self, expander):
+        init = expander.initial_state()
+        targets = targets_of(expander, init, Op.WRITE, "Invalid")
+        assert targets == {
+            build_state(
+                "Dirty", "Invalid*",
+                data={"Dirty": F, "Invalid": N},
+                sharing=SharingLevel.ONE, mdata=DataValue.OBSOLETE,
+            )
+        }
+
+    def test_read_miss_with_dirty_copy_shares_and_flushes(self, expander):
+        s2 = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=DataValue.OBSOLETE,
+        )
+        targets = targets_of(expander, s2, Op.READ, "Invalid")
+        # Dirty supplies + memory update: both end up Shared, mem fresh.
+        assert targets == {
+            build_state(
+                "Shared+", "Invalid*",
+                data={"Shared": F, "Invalid": N},
+                sharing=SharingLevel.MANY, mdata=F,
+            )
+        }
+
+    def test_replacement_from_shared_many_case_splits(self, expander):
+        s3 = build_state(
+            "Shared+", "Invalid*",
+            data={"Shared": F, "Invalid": N},
+            sharing=SharingLevel.MANY, mdata=F,
+        )
+        targets = targets_of(expander, s3, Op.REPLACE, "Shared")
+        s4 = build_state(
+            "Shared", "Invalid+",
+            data={"Shared": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=F,
+        )
+        s3_again = build_state(
+            "Shared+", "Invalid+",
+            data={"Shared": F, "Invalid": N},
+            sharing=SharingLevel.MANY, mdata=F,
+        )
+        # Two scenarios: exactly one other sharer remains (the paper's
+        # N-steps terminal state s4) or several remain (contained in s3).
+        assert targets == {s4, s3_again}
+
+    def test_write_from_shared_invalidates_everyone(self, expander):
+        s3 = build_state(
+            "Shared+", "Invalid*",
+            data={"Shared": F, "Invalid": N},
+            sharing=SharingLevel.MANY, mdata=F,
+        )
+        targets = targets_of(expander, s3, Op.WRITE, "Shared")
+        assert targets == {
+            build_state(
+                "Dirty", "Invalid+",
+                data={"Dirty": F, "Invalid": N},
+                sharing=SharingLevel.ONE, mdata=DataValue.OBSOLETE,
+            )
+        }
+
+    def test_read_hit_is_self_loop(self, expander):
+        s1 = build_state(
+            "V-Ex", "Invalid*",
+            data={"V-Ex": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=F,
+        )
+        targets = targets_of(expander, s1, Op.READ, "V-Ex")
+        assert targets == {s1}
+
+    def test_inconsistent_scenarios_are_filtered(self, expander):
+        # sharing=ONE with a singleton Dirty: the Invalid* environment
+        # cannot hide further copies, so exactly one successor per op.
+        s2 = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=DataValue.OBSOLETE,
+        )
+        assert len(targets_of(expander, s2, Op.WRITE, "Invalid")) == 1
+
+    def test_successors_deduplicate(self, expander):
+        init = expander.initial_state()
+        transitions = expander.successors(init)
+        keys = [(t.label, t.target) for t in transitions]
+        assert len(keys) == len(set(keys))
+
+
+class TestStructuralMode:
+    def test_no_data_in_structural_successors(self, structural_expander):
+        init = structural_expander.initial_state()
+        for t in structural_expander.successors(init):
+            assert not t.target.is_augmented
+            assert t.target.mdata is None
+
+    def test_same_shapes_as_augmented(self, expander, structural_expander):
+        """For a correct protocol the structural shapes agree with the
+        augmented ones (all data annotations are 'fresh')."""
+        init_a = expander.initial_state()
+        init_s = structural_expander.initial_state()
+        shapes_a = {
+            (str(t.label), t.target.pretty(annotations=False).replace(":fresh", "").replace(":nodata", ""))
+            for t in expander.successors(init_a)
+        }
+        shapes_s = {
+            (str(t.label), t.target.pretty(annotations=False))
+            for t in structural_expander.successors(init_s)
+        }
+        assert shapes_a == shapes_s
+
+
+class TestScenarioInstrumentation:
+    def test_scenarios_counted(self):
+        expander = SymbolicExpander(IllinoisProtocol(), augmented=True)
+        assert expander.scenarios_evaluated == 0
+        expander.successors(expander.initial_state())
+        assert expander.scenarios_evaluated > 0

@@ -1,0 +1,227 @@
+"""Unit and property tests for the repetition-operator algebra."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.operators import (
+    Rep,
+    aggregate,
+    conditioned_rep,
+    count_cases,
+    interval_add,
+    interval_of,
+    interval_sum,
+    leq,
+    remove_one,
+    rep_from_interval,
+)
+from repro.core.symbols import CountCase
+
+ALL_REPS = list(Rep)
+reps = st.sampled_from(ALL_REPS)
+
+
+def denotes(rep: Rep, count: int) -> bool:
+    """Whether *rep* admits exactly *count* caches."""
+    lo, hi = interval_of(rep)
+    return lo <= count and (hi is None or count <= hi)
+
+
+class TestIntervals:
+    def test_interval_of(self):
+        assert interval_of(Rep.ZERO) == (0, 0)
+        assert interval_of(Rep.ONE) == (1, 1)
+        assert interval_of(Rep.PLUS) == (1, None)
+        assert interval_of(Rep.STAR) == (0, None)
+
+    def test_interval_add_finite(self):
+        assert interval_add((1, 1), (2, 3)) == (3, 4)
+
+    def test_interval_add_unbounded_absorbs(self):
+        assert interval_add((1, None), (2, 3)) == (3, None)
+        assert interval_add((0, 4), (0, None)) == (0, None)
+
+    def test_interval_sum(self):
+        assert interval_sum([(1, 1), (1, None), (0, 0)]) == (2, None)
+        assert interval_sum([]) == (0, 0)
+
+    def test_rep_from_interval_weakening(self):
+        # (2, 2) is not representable; weakest covering operator is "+".
+        assert rep_from_interval(2, 2) is Rep.PLUS
+        assert rep_from_interval(0, 0) is Rep.ZERO
+        assert rep_from_interval(1, 1) is Rep.ONE
+        assert rep_from_interval(1, None) is Rep.PLUS
+        assert rep_from_interval(0, None) is Rep.STAR
+        assert rep_from_interval(0, 3) is Rep.STAR
+
+    def test_rep_from_interval_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            rep_from_interval(-1, 2)
+        with pytest.raises(ValueError):
+            rep_from_interval(3, 2)
+
+
+class TestInformationOrder:
+    def test_paper_order(self):
+        # Section 3.2.2: 1 < + < * and 0 < *.
+        assert leq(Rep.ONE, Rep.PLUS)
+        assert leq(Rep.PLUS, Rep.STAR)
+        assert leq(Rep.ONE, Rep.STAR)
+        assert leq(Rep.ZERO, Rep.STAR)
+
+    def test_incomparable_pairs(self):
+        assert not leq(Rep.ZERO, Rep.ONE)
+        assert not leq(Rep.ZERO, Rep.PLUS)
+        assert not leq(Rep.ONE, Rep.ZERO)
+        assert not leq(Rep.PLUS, Rep.ONE)
+        assert not leq(Rep.STAR, Rep.PLUS)
+
+    @given(reps)
+    def test_reflexive(self, r):
+        assert leq(r, r)
+
+    @given(reps, reps, reps)
+    def test_transitive(self, a, b, c):
+        if leq(a, b) and leq(b, c):
+            assert leq(a, c)
+
+    @given(reps, reps)
+    def test_antisymmetric(self, a, b):
+        if leq(a, b) and leq(b, a):
+            assert a is b
+
+    @given(reps, reps)
+    def test_leq_is_count_set_inclusion(self, a, b):
+        """The order is exactly subset inclusion of denoted count sets."""
+        inclusion = all(denotes(b, k) for k in range(8) if denotes(a, k))
+        # Beyond count 7 the unbounded operators behave identically, but
+        # a bounded operator can never include an unbounded one:
+        if interval_of(a)[1] is None and interval_of(b)[1] is not None:
+            inclusion = False
+        assert leq(a, b) == inclusion
+
+
+class TestAggregation:
+    def test_paper_rules(self):
+        # Section 3.2.3 rule 1.
+        for r in ALL_REPS:
+            assert aggregate(Rep.ZERO, r) is r  # (q0, qr) ≡ qr
+        assert aggregate(Rep.STAR, Rep.STAR) is Rep.STAR  # (q*, q*) ≡ q*
+        for r in (Rep.ONE, Rep.PLUS, Rep.STAR):
+            assert aggregate(Rep.ONE, r) is Rep.PLUS  # (q, q^{1/+/*}) ≡ q+
+
+    def test_plus_combinations(self):
+        assert aggregate(Rep.PLUS, Rep.PLUS) is Rep.PLUS
+        assert aggregate(Rep.PLUS, Rep.STAR) is Rep.PLUS
+
+    @given(reps, reps)
+    def test_commutative(self, a, b):
+        assert aggregate(a, b) is aggregate(b, a)
+
+    @given(reps, reps, reps)
+    def test_associative(self, a, b, c):
+        assert aggregate(aggregate(a, b), c) is aggregate(a, aggregate(b, c))
+
+    @given(reps, reps)
+    def test_sound_overapproximation(self, a, b):
+        """Any count achievable by two merged classes is admitted."""
+        merged = aggregate(a, b)
+        for ka in range(4):
+            for kb in range(4):
+                if denotes(a, ka) and denotes(b, kb):
+                    assert denotes(merged, ka + kb)
+
+    @given(reps, reps, reps, reps)
+    def test_monotone_in_both_arguments(self, a, b, a2, b2):
+        if leq(a, a2) and leq(b, b2):
+            assert leq(aggregate(a, b), aggregate(a2, b2))
+
+
+class TestRemoveOne:
+    def test_rules(self):
+        assert remove_one(Rep.ONE) is Rep.ZERO
+        assert remove_one(Rep.PLUS) is Rep.STAR
+        assert remove_one(Rep.STAR) is Rep.STAR
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(ValueError):
+            remove_one(Rep.ZERO)
+
+    @given(reps)
+    def test_sound(self, r):
+        """If the class admits k >= 1, the remainder admits k - 1."""
+        if r is Rep.ZERO:
+            return
+        rest = remove_one(r)
+        for k in range(1, 6):
+            if denotes(r, k):
+                assert denotes(rest, k - 1)
+
+
+class TestCountCases:
+    def test_sharing_mode_granularity(self):
+        assert count_cases(Rep.ONE, sharing=True) == (CountCase.ONE,)
+        assert count_cases(Rep.PLUS, sharing=True) == (
+            CountCase.ONE,
+            CountCase.MANY,
+        )
+        assert count_cases(Rep.STAR, sharing=True) == (
+            CountCase.ZERO,
+            CountCase.ONE,
+            CountCase.MANY,
+        )
+
+    def test_null_mode_granularity(self):
+        assert count_cases(Rep.PLUS, sharing=False) == (CountCase.SOME,)
+        assert count_cases(Rep.STAR, sharing=False) == (
+            CountCase.ZERO,
+            CountCase.SOME,
+        )
+
+    @given(reps, st.booleans())
+    def test_cases_partition_the_operator(self, r, sharing):
+        """Every admissible count falls into exactly one case."""
+        if r is Rep.ZERO:
+            return
+        cases = count_cases(r, sharing=sharing)
+        for k in range(6):
+            if not denotes(r, k):
+                continue
+            matching = [
+                c
+                for c in cases
+                if c.min_count <= k and (c.max_count is None or k <= c.max_count)
+            ]
+            assert len(matching) == 1
+
+    @given(st.sampled_from(list(CountCase)))
+    def test_conditioned_rep_covers_case(self, case):
+        rep = conditioned_rep(case)
+        lo, hi = interval_of(rep)
+        assert lo <= case.min_count
+        if hi is not None:
+            assert case.max_count is not None and case.max_count <= hi
+
+
+class TestRepProperties:
+    def test_may_be_empty(self):
+        assert Rep.ZERO.may_be_empty
+        assert Rep.STAR.may_be_empty
+        assert not Rep.ONE.may_be_empty
+        assert not Rep.PLUS.may_be_empty
+
+    def test_may_be_present(self):
+        assert not Rep.ZERO.may_be_present
+        assert Rep.ONE.may_be_present
+        assert Rep.PLUS.may_be_present
+        assert Rep.STAR.may_be_present
+
+    def test_every_pair_has_a_join_under_leq(self):
+        """{0,1,+,*} with the information order has STAR as top."""
+        for a, b in itertools.product(ALL_REPS, repeat=2):
+            assert leq(a, Rep.STAR) and leq(b, Rep.STAR)

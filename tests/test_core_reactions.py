@@ -1,0 +1,81 @@
+"""Unit tests for the reaction model (Ctx / Outcome / LoadFrom)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reactions import (
+    Ctx,
+    LoadFrom,
+    MEMORY,
+    ObserverReaction,
+    Outcome,
+    from_cache,
+    stay,
+)
+from repro.core.symbols import CountCase
+
+
+class TestLoadFrom:
+    def test_memory_constant(self):
+        assert MEMORY.kind == "memory"
+        assert MEMORY.symbol is None
+        assert str(MEMORY) == "memory"
+
+    def test_from_cache(self):
+        src = from_cache("Dirty")
+        assert src.kind == "cache"
+        assert src.symbol == "Dirty"
+        assert str(src) == "cache[Dirty]"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadFrom("bus")
+        with pytest.raises(ValueError):
+            LoadFrom("memory", "Dirty")
+        with pytest.raises(ValueError):
+            LoadFrom("cache", None)
+
+
+class TestObserverReaction:
+    def test_stay_helper(self):
+        r = stay("Shared")
+        assert r.next_state == "Shared"
+        assert not r.updated
+
+
+class TestOutcome:
+    def test_observer_for_defaults_to_no_change(self):
+        outcome = Outcome("Dirty", observers={"Shared": ObserverReaction("Invalid")})
+        assert outcome.observer_for("Shared").next_state == "Invalid"
+        assert outcome.observer_for("V-Ex").next_state == "V-Ex"
+
+    def test_observers_frozen(self):
+        outcome = Outcome("Dirty", observers={"Shared": ObserverReaction("Invalid")})
+        with pytest.raises(TypeError):
+            outcome.observers["Shared"] = ObserverReaction("Shared")  # type: ignore[index]
+
+    def test_defaults(self):
+        outcome = Outcome("Shared")
+        assert outcome.load_from is None
+        assert outcome.writeback_from is None
+        assert not outcome.write_through
+
+
+class TestCtx:
+    def test_empty_context(self):
+        ctx = Ctx()
+        assert not ctx.any_copy
+        assert not ctx.has("Dirty")
+        assert ctx.copies is CountCase.ZERO
+
+    def test_any_copy_is_sharing_detection(self):
+        ctx = Ctx(frozenset({"Shared"}), CountCase.MANY)
+        assert ctx.any_copy
+        assert ctx.has("Shared")
+        assert ctx.has("Dirty", "Shared")
+        assert not ctx.has("Dirty")
+
+    def test_some_counts_as_present(self):
+        ctx = Ctx(frozenset({"Valid"}), CountCase.SOME)
+        assert ctx.any_copy

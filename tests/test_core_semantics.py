@@ -1,0 +1,99 @@
+"""Unit tests for the shared data-value semantics (Section 2.4 rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semantics import (
+    initiator_data_after,
+    is_store,
+    memory_after_store,
+    memory_after_writeback,
+    observer_data_after,
+)
+from repro.core.symbols import DataValue, Op
+
+F = DataValue.FRESH
+O = DataValue.OBSOLETE
+N = DataValue.NODATA
+
+
+class TestIsStore:
+    def test_only_write_is_store(self):
+        assert is_store(Op.WRITE)
+        assert not is_store(Op.READ)
+        assert not is_store(Op.REPLACE)
+
+
+class TestMemoryAfterWriteback:
+    def test_no_writeback_keeps_memory(self):
+        assert memory_after_writeback(O, None) is O
+        assert memory_after_writeback(F, None) is F
+
+    def test_writeback_overwrites(self):
+        assert memory_after_writeback(O, F) is F
+        # Writing back an obsolete copy is representable (it is what a
+        # buggy protocol does) and memory then holds the stale value.
+        assert memory_after_writeback(F, O) is O
+
+    def test_cannot_write_back_nodata(self):
+        with pytest.raises(ValueError):
+            memory_after_writeback(F, N)
+
+
+class TestMemoryAfterStore:
+    def test_non_store_keeps_memory(self):
+        assert memory_after_store(F, store=False, write_through=False) is F
+        assert memory_after_store(O, store=False, write_through=True) is O
+
+    def test_store_without_write_through_stales_memory(self):
+        assert memory_after_store(F, store=True, write_through=False) is O
+
+    def test_store_with_write_through_freshens_memory(self):
+        assert memory_after_store(O, store=True, write_through=True) is F
+
+
+class TestInitiatorData:
+    def test_read_hit_keeps_value(self):
+        assert initiator_data_after(F, None, store=False, becomes_invalid=False) is F
+        assert initiator_data_after(O, None, store=False, becomes_invalid=False) is O
+
+    def test_read_miss_takes_loaded_value(self):
+        assert initiator_data_after(N, F, store=False, becomes_invalid=False) is F
+        assert initiator_data_after(N, O, store=False, becomes_invalid=False) is O
+
+    def test_store_always_ends_fresh(self):
+        assert initiator_data_after(N, O, store=True, becomes_invalid=False) is F
+        assert initiator_data_after(O, None, store=True, becomes_invalid=False) is F
+
+    def test_replacement_discards_data(self):
+        assert initiator_data_after(F, None, store=False, becomes_invalid=True) is N
+
+    def test_valid_without_data_rejected(self):
+        with pytest.raises(ValueError):
+            initiator_data_after(N, None, store=False, becomes_invalid=False)
+
+
+class TestObserverData:
+    def test_invalidation_discards(self):
+        assert observer_data_after(F, becomes_invalid=True, updated=False, store=True) is N
+
+    def test_update_broadcast_delivers_fresh(self):
+        assert observer_data_after(F, becomes_invalid=False, updated=True, store=True) is F
+        assert observer_data_after(O, becomes_invalid=False, updated=True, store=True) is F
+
+    def test_surviving_copy_goes_stale_on_store(self):
+        # The heart of bug detection: a forgotten invalidation leaves
+        # the remote copy readable but obsolete.
+        assert observer_data_after(F, becomes_invalid=False, updated=False, store=True) is O
+
+    def test_already_stale_copy_stays_stale(self):
+        assert observer_data_after(O, becomes_invalid=False, updated=False, store=True) is O
+
+    def test_non_store_keeps_value(self):
+        assert observer_data_after(F, becomes_invalid=False, updated=False, store=False) is F
+        assert observer_data_after(O, becomes_invalid=False, updated=False, store=False) is O
+
+    def test_observer_cannot_hold_nodata(self):
+        with pytest.raises(ValueError):
+            observer_data_after(N, becomes_invalid=False, updated=False, store=False)

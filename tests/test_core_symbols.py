@@ -1,0 +1,80 @@
+"""Unit tests for the fundamental symbol types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
+
+
+class TestOp:
+    def test_values_match_paper_notation(self):
+        assert Op.READ.value == "R"
+        assert Op.WRITE.value == "W"
+        assert Op.REPLACE.value == "Z"
+
+    def test_str(self):
+        assert str(Op.READ) == "R"
+
+    def test_paper_alphabet_plus_locking_extension(self):
+        # The paper's Σ = {R, W, Rep} plus the Section 5 locking
+        # extension (LOCK/UNLOCK), which ordinary protocols omit.
+        assert len(Op) == 5
+        assert Op.LOCK.value == "L"
+        assert Op.UNLOCK.value == "U"
+
+
+class TestDataValue:
+    def test_domain(self):
+        assert {d.value for d in DataValue} == {"nodata", "fresh", "obsolete"}
+
+    def test_str(self):
+        assert str(DataValue.FRESH) == "fresh"
+
+
+class TestSharingLevel:
+    def test_from_count_classification(self):
+        assert SharingLevel.from_count(0) is SharingLevel.NONE
+        assert SharingLevel.from_count(1) is SharingLevel.ONE
+        assert SharingLevel.from_count(2) is SharingLevel.MANY
+        assert SharingLevel.from_count(17) is SharingLevel.MANY
+
+    def test_from_count_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SharingLevel.from_count(-1)
+
+    def test_intervals(self):
+        assert SharingLevel.NONE.as_interval() == (0, 0)
+        assert SharingLevel.ONE.as_interval() == (1, 1)
+        assert SharingLevel.MANY.as_interval() == (2, None)
+
+    def test_roundtrip_count_in_interval(self):
+        for count in range(6):
+            level = SharingLevel.from_count(count)
+            lo, hi = level.as_interval()
+            assert lo <= count
+            assert hi is None or count <= hi
+
+
+class TestCountCase:
+    def test_min_counts(self):
+        assert CountCase.ZERO.min_count == 0
+        assert CountCase.ONE.min_count == 1
+        assert CountCase.MANY.min_count == 2
+        assert CountCase.SOME.min_count == 1
+
+    def test_max_counts(self):
+        assert CountCase.ZERO.max_count == 0
+        assert CountCase.ONE.max_count == 1
+        assert CountCase.MANY.max_count is None
+        assert CountCase.SOME.max_count is None
+
+    def test_presence(self):
+        assert not CountCase.ZERO.is_present
+        assert CountCase.ONE.is_present
+        assert CountCase.MANY.is_present
+        assert CountCase.SOME.is_present
+
+    def test_intervals_are_consistent(self):
+        for case in CountCase:
+            assert case.max_count is None or case.min_count <= case.max_count

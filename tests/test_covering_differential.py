@@ -1,0 +1,81 @@
+"""Differential test for the optimized covering implementation.
+
+``structurally_covers`` was rewritten as a merge walk over the sorted
+class tuples for speed; this test pins it against the naive reference
+implementation (build the label union, compare operator by operator)
+over the full random state space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.composite import Label, make_state
+from repro.core.covering import structurally_covers
+from repro.core.operators import Rep, leq
+from repro.core.symbols import DataValue
+
+SYMBOLS = ("A", "B", "C")
+DATA = (None, DataValue.FRESH, DataValue.OBSOLETE)
+
+
+def reference_covers(small, big) -> bool:
+    """The textbook (pre-optimization) Definition 8 check."""
+    labels = {lbl for lbl, _ in small.classes} | {lbl for lbl, _ in big.classes}
+    return all(leq(small.rep_of(lbl), big.rep_of(lbl)) for lbl in labels)
+
+
+@st.composite
+def states(draw):
+    pieces = []
+    for symbol in SYMBOLS:
+        for data in draw(st.sets(st.sampled_from(DATA), max_size=2)):
+            pieces.append(
+                (Label(symbol, data), draw(st.sampled_from(list(Rep))))
+            )
+    return make_state(pieces)
+
+
+class TestDifferential:
+    @given(states(), states())
+    def test_matches_reference(self, a, b):
+        assert structurally_covers(a, b) == reference_covers(a, b)
+        assert structurally_covers(b, a) == reference_covers(b, a)
+
+    @given(states())
+    def test_reflexive(self, a):
+        assert structurally_covers(a, a)
+
+    def test_trailing_star_classes_in_big(self):
+        small = make_state([(Label("A"), Rep.ONE)])
+        big_ok = make_state([(Label("A"), Rep.ONE), (Label("C"), Rep.STAR)])
+        big_bad = make_state([(Label("A"), Rep.ONE), (Label("C"), Rep.PLUS)])
+        assert structurally_covers(small, big_ok)
+        assert not structurally_covers(small, big_bad)
+
+    def test_leading_star_classes_in_big(self):
+        small = make_state([(Label("C"), Rep.ONE)])
+        big = make_state([(Label("A"), Rep.STAR), (Label("C"), Rep.PLUS)])
+        assert structurally_covers(small, big)
+
+    def test_extra_class_in_small_fails_fast(self):
+        small = make_state([(Label("A"), Rep.ONE), (Label("B"), Rep.ONE)])
+        big = make_state([(Label("B"), Rep.PLUS)])
+        assert not structurally_covers(small, big)
+
+    def test_empty_small_covered_by_all_star_big(self):
+        small = make_state([])
+        big = make_state([(Label("A"), Rep.STAR), (Label("B"), Rep.STAR)])
+        assert structurally_covers(small, big)
+        assert not structurally_covers(
+            small, make_state([(Label("A"), Rep.ONE)])
+        )
+
+    def test_hash_caching_preserves_equality(self):
+        a = make_state([(Label("A"), Rep.ONE)])
+        b = make_state([(Label("A"), Rep.ONE)])
+        assert hash(a) == hash(b)
+        assert a == b
+        # Hash survives (and is stable across) repeated calls.
+        assert hash(a) == hash(a)

@@ -1,0 +1,117 @@
+"""Tests for the Theorem 1 cross-validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import build_state
+from repro.core.symbols import DataValue, SharingLevel
+from repro.enumeration.crossval import cross_validate, is_instance
+from repro.enumeration.product import ConcreteState
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.mutations import get_mutant
+from repro.protocols.registry import protocol_names
+
+F = DataValue.FRESH
+O = DataValue.OBSOLETE
+N = DataValue.NODATA
+
+
+class TestIsInstance:
+    spec = IllinoisProtocol()
+
+    def test_positive_instance(self):
+        composite = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=O,
+        )
+        concrete = ConcreteState(("Dirty", "Invalid", "Invalid"), (F, N, N), O)
+        assert is_instance(concrete, composite, self.spec)
+
+    def test_count_out_of_interval(self):
+        composite = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=O,
+        )
+        two_dirty = ConcreteState(("Dirty", "Dirty"), (F, F), O)
+        assert not is_instance(two_dirty, composite, self.spec)
+
+    def test_star_admits_zero(self):
+        composite = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=O,
+        )
+        lone = ConcreteState(("Dirty",), (F,), O)
+        assert is_instance(lone, composite, self.spec)
+
+    def test_sharing_level_must_match(self):
+        s3 = build_state(
+            "Shared+", "Invalid*",
+            data={"Shared": F, "Invalid": N},
+            sharing=SharingLevel.MANY, mdata=F,
+        )
+        one_shared = ConcreteState(("Shared", "Invalid"), (F, N), F)
+        two_shared = ConcreteState(("Shared", "Shared"), (F, F), F)
+        assert not is_instance(one_shared, s3, self.spec)
+        assert is_instance(two_shared, s3, self.spec)
+
+    def test_mdata_must_match(self):
+        composite = build_state(
+            "Dirty", "Invalid*",
+            data={"Dirty": F, "Invalid": N},
+            sharing=SharingLevel.ONE, mdata=O,
+        )
+        wrong = ConcreteState(("Dirty", "Invalid"), (F, N), F)
+        assert not is_instance(wrong, composite, self.spec)
+
+    def test_structural_mode_ignores_data(self):
+        composite = build_state("Dirty", "Invalid*", sharing=SharingLevel.ONE)
+        concrete = ConcreteState(("Dirty", "Invalid"), (F, N), O)
+        assert is_instance(concrete, composite, self.spec, augmented=False)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_theorem1_holds_for_every_protocol(self, name, explored_augmented):
+        from repro.protocols.registry import get_protocol
+
+        result = cross_validate(
+            get_protocol(name), ns=(1, 2, 3, 4), symbolic=explored_augmented[name]
+        )
+        assert result.complete, result.summary()
+        assert result.tight, result.summary()
+
+    def test_structural_mode(self, explored_structural):
+        from repro.protocols.registry import get_protocol
+
+        result = cross_validate(
+            get_protocol("illinois"),
+            ns=(1, 2, 3),
+            augmented=False,
+            symbolic=explored_structural["illinois"],
+        )
+        assert result.ok
+
+    def test_mutant_concrete_space_still_covered(self):
+        """Theorem 1 is about reachability, not correctness: even a
+        buggy protocol's concrete states are covered by its (erroneous)
+        essential states."""
+        mutant = get_mutant(IllinoisProtocol(), "forget-supplier-demotion")
+        result = cross_validate(mutant, ns=(1, 2, 3))
+        assert result.complete, result.summary()
+
+    def test_summary_text(self, explored_augmented):
+        result = cross_validate(
+            IllinoisProtocol(), ns=(1, 2), symbolic=explored_augmented["illinois"]
+        )
+        assert "cross-validation OK" in result.summary()
+
+    def test_single_cache_system_covered(self, explored_augmented):
+        """n=1 exercises the degenerate corner of the star operators."""
+        result = cross_validate(
+            IllinoisProtocol(), ns=(1,), symbolic=explored_augmented["illinois"]
+        )
+        assert result.complete

@@ -1,0 +1,80 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+The fast examples run inline (their ``main()`` is imported and called);
+the slower sweep/simulation walkthroughs are covered by their own
+subsystem tests and are exercised here with reduced parameters where
+the module exposes them.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_protocol.py",
+    "specify_and_verify.py",
+    "locked_states.py",
+    "catch_a_bug.py",
+]
+
+
+def load_example(filename: str):
+    path = EXAMPLES / filename
+    spec = importlib.util.spec_from_file_location(
+        f"example_{filename.removesuffix('.py')}", path
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("filename", FAST_EXAMPLES)
+def test_fast_example_runs(filename, capsys):
+    module = load_example(filename)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{filename} produced no output"
+
+
+def test_quickstart_reports_verified(capsys):
+    load_example("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "VERIFIED" in out
+    assert "digraph" in out  # the DOT rendering
+
+
+def test_catch_a_bug_tells_the_three_way_story(capsys):
+    load_example("catch_a_bug.py").main()
+    out = capsys.readouterr().out
+    assert "Symbolic verifier" in out
+    assert "Exhaustive enumeration" in out
+    assert "Random simulation" in out
+
+
+def test_all_examples_have_docstrings_and_main():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text(encoding="utf-8")
+        assert text.lstrip().startswith(('"""', "#!")), path.name
+        assert "def main()" in text, path.name
+        assert '__name__ == "__main__"' in text, path.name
+
+
+def test_protocol_reference_doc_in_sync():
+    """docs/PROTOCOLS.md must match the generator's current output."""
+    module = load_example("generate_protocol_reference.py")
+    committed = (
+        Path(__file__).resolve().parent.parent / "docs" / "PROTOCOLS.md"
+    ).read_text(encoding="utf-8")
+    assert module.render() == committed, (
+        "docs/PROTOCOLS.md is stale; regenerate with "
+        "`python examples/generate_protocol_reference.py`"
+    )

@@ -1,0 +1,126 @@
+"""Corner-path tests for the symbolic expansion engine.
+
+Covers the branches the mainline protocols rarely exercise: null-F
+scenario splitting ({0, SOME} granularity), supersedes dispositions,
+and the branching over "arbitrarily chosen" data sources when a buggy
+protocol lets same-symbol classes carry different data values.
+"""
+
+from __future__ import annotations
+
+from tests.helpers import build_state
+from repro.core.composite import Label, make_state
+from repro.core.essential import Disposition, explore
+from repro.core.expansion import SymbolicExpander
+from repro.core.operators import Rep
+from repro.core.symbols import DataValue, Op, SharingLevel
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.mutations import get_mutant
+from repro.protocols.write_once import WriteOnceProtocol
+
+F = DataValue.FRESH
+O = DataValue.OBSOLETE
+N = DataValue.NODATA
+
+
+class TestNullFScenarioSplitting:
+    """Null-F protocols split ambiguous classes into {absent, present}
+    only -- no sharing-level bookkeeping."""
+
+    def test_star_class_splits_into_two_scenarios(self):
+        spec = WriteOnceProtocol()
+        expander = SymbolicExpander(spec, augmented=True)
+        # (Valid+, Invalid*): replacement from Valid leaves Valid*,
+        # which is ambiguous; the successors must cover both the
+        # empty and the non-empty case.
+        state = build_state(
+            "Valid+", "Invalid*",
+            data={"Valid": F, "Invalid": N}, mdata=F,
+        )
+        targets = {
+            t.target
+            for t in expander.successors(state)
+            if t.label.op is Op.REPLACE and t.label.initiator == "Valid"
+        }
+        empty = build_state("Invalid+", data={"Invalid": N}, mdata=F)
+        nonempty = build_state(
+            "Valid+", "Invalid+", data={"Valid": F, "Invalid": N}, mdata=F
+        )
+        assert targets == {empty, nonempty}
+
+    def test_no_sharing_annotation_in_null_mode(self):
+        spec = WriteOnceProtocol()
+        expander = SymbolicExpander(spec, augmented=True)
+        for t in expander.successors(expander.initial_state()):
+            assert t.target.sharing is None
+
+
+class TestDataSourceBranching:
+    """When classes of the same symbol hold different data (only buggy
+    protocols reach this), a cache-supplied fill must branch over every
+    distinct source value."""
+
+    def test_read_fill_branches_over_fresh_and_stale_suppliers(self):
+        mutant = get_mutant(IllinoisProtocol(), "drop-invalidation")
+        expander = SymbolicExpander(mutant, augmented=True)
+        # A (buggy-reachable) state with fresh AND stale Shared copies.
+        state = make_state(
+            [
+                (Label("Shared", F), Rep.ONE),
+                (Label("Shared", O), Rep.PLUS),
+                (Label("Invalid", N), Rep.PLUS),
+            ],
+            sharing=SharingLevel.MANY,
+            mdata=O,
+        )
+        fills = {
+            t.target
+            for t in expander.successors(state)
+            if t.label.op is Op.READ and t.label.initiator == "Invalid"
+        }
+        # Serving from the fresh supplier grows the fresh class to "+";
+        # serving from a stale supplier leaves it a singleton while the
+        # stale class grows.  Both branches must be generated.
+        fresh_fills = [
+            s for s in fills if s.rep_of(Label("Shared", F)) is Rep.PLUS
+        ]
+        stale_fills = [
+            s
+            for s in fills
+            if s.rep_of(Label("Shared", F)) is Rep.ONE
+            and s.rep_of(Label("Shared", O)) is Rep.PLUS
+        ]
+        assert fresh_fills, "no successor took the fresh supplier"
+        assert stale_fills, "no successor took the stale supplier"
+
+    def test_supersedes_disposition_occurs(self):
+        """Expansion of rich protocols must exercise the prune-backwards
+        path (a new state absorbing previously recorded ones)."""
+        result = explore(
+            get_mutant(IllinoisProtocol(), "drop-invalidation"), keep_trace=True
+        )
+        assert any(
+            entry.disposition is Disposition.SUPERSEDES for entry in result.trace
+        )
+        assert result.stats.removed_superseded > 0
+
+
+class TestAugmentedStructureInteraction:
+    def test_mixed_data_classes_render_distinctly(self):
+        state = make_state(
+            [
+                (Label("Shared", F), Rep.ONE),
+                (Label("Shared", O), Rep.ONE),
+            ]
+        )
+        text = state.pretty(annotations=False)
+        assert "Shared:fresh" in text and "Shared:obsolete" in text
+
+    def test_symbol_rep_aggregates_mixed_classes(self):
+        state = make_state(
+            [
+                (Label("Shared", F), Rep.ONE),
+                (Label("Shared", O), Rep.STAR),
+            ]
+        )
+        assert state.symbol_rep("Shared") is Rep.PLUS

@@ -1,0 +1,57 @@
+"""Golden-file regression tests.
+
+The full verification result of every shipped protocol (essential
+states, transitions, statistics, verdict) is pinned to a JSON golden
+under ``tests/goldens/``.  Any refactor that silently changes the
+verifier's behaviour -- different pruning, different visit counts,
+different fixpoints -- fails here with a readable diff.
+
+Regenerate (after an *intentional* behaviour change) with::
+
+    python -m tests.test_goldens
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.essential import explore
+from repro.core.serialize import result_to_dict
+from repro.protocols.registry import all_protocols, get_protocol, protocol_names
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def current_payload(name: str) -> dict:
+    payload = result_to_dict(explore(get_protocol(name)))
+    payload["stats"].pop("elapsed_seconds", None)  # machine-dependent
+    return payload
+
+
+def test_every_protocol_has_a_golden():
+    assert {p.stem for p in GOLDEN_DIR.glob("*.json")} == set(protocol_names())
+
+
+@pytest.mark.parametrize("name", protocol_names())
+def test_verification_result_matches_golden(name):
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    assert current_payload(name) == golden, (
+        f"{name}: verification result drifted from the golden; if the "
+        "change is intentional, regenerate with `python -m tests.test_goldens`"
+    )
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    for spec in all_protocols():
+        path = GOLDEN_DIR / f"{spec.name}.json"
+        path.write_text(
+            json.dumps(current_payload(spec.name), indent=1, sort_keys=True) + "\n"
+        )
+        print("wrote", path)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

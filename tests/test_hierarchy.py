@@ -1,0 +1,190 @@
+"""Tests for the two-level (hierarchical) multiprocessor substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.registry import get_protocol
+from repro.simulator.hierarchy import HierarchicalSystem
+from repro.simulator.system import CoherenceViolationError
+from repro.simulator.workloads import make_workload
+
+HIER_PROTOCOLS = ("illinois", "msi", "moesi", "mesif")
+
+
+def make_system(name="illinois", clusters=2, l1s=2, **kw) -> HierarchicalSystem:
+    defaults = dict(l1_sets=4, l2_sets=8, strict=True)
+    defaults.update(kw)
+    return HierarchicalSystem(get_protocol(name), clusters, l1s, **defaults)
+
+
+class TestConstruction:
+    def test_processor_mapping(self):
+        hs = make_system(clusters=3, l1s=2)
+        assert hs.n_processors == 6
+        cluster, li = hs._locate(5)
+        assert cluster is hs.clusters[2] and li == 1
+
+    def test_rejects_non_hierarchy_capable(self):
+        with pytest.raises(ValueError, match="not hierarchy-capable"):
+            HierarchicalSystem(get_protocol("synapse"), 2, 2)
+
+    def test_rejects_locking_protocols(self):
+        from repro.protocols.lock_msi import LockMsiProtocol
+
+        spec = LockMsiProtocol()
+        spec.exclusive_states = ("Modified", "Locked")
+        spec.shared_fill_state = "Shared"
+        with pytest.raises(ValueError, match="locking"):
+            HierarchicalSystem(spec, 2, 2)
+
+    def test_rejects_bad_pid(self):
+        hs = make_system()
+        with pytest.raises(ValueError):
+            hs.read(99, 0)
+
+
+class TestBasicCoherence:
+    def test_intra_cluster_read_after_write(self):
+        hs = make_system()
+        v = hs.write(0, 0)
+        assert hs.read(1, 0) == v  # same cluster
+
+    def test_cross_cluster_read_after_write(self):
+        hs = make_system()
+        v = hs.write(0, 0)
+        assert hs.read(2, 0) == v  # different cluster
+        assert hs.audit() == []
+
+    def test_write_write_read_across_clusters(self):
+        hs = make_system(clusters=3)
+        hs.write(0, 0)
+        v2 = hs.write(2, 0)  # cluster 1 steals ownership
+        assert hs.read(4, 0) == v2  # cluster 2 reads
+        assert hs.audit() == []
+
+    def test_cross_cluster_write_invalidates_remote_l1s(self):
+        hs = make_system()
+        hs.read(0, 0)
+        hs.read(2, 0)
+        hs.write(0, 0)
+        # The remote cluster lost both its L1 and L2 copy.
+        assert not hs.clusters[1].l1s[0].holds(0)
+        assert not hs.clusters[1].has_valid(0)
+
+    def test_inclusion_after_traffic(self):
+        hs = make_system(l1_sets=2, l2_sets=4)
+        for pid in range(hs.n_processors):
+            for addr in range(6):
+                hs.read(pid, addr)
+        assert hs.audit() == []
+
+    def test_exclusive_fill_demoted_when_remote_copy_exists(self):
+        """The hierarchical sharing correction: a lone L1 read in one
+        cluster must not claim V-Ex while another cluster holds the
+        block."""
+        hs = make_system(name="illinois")
+        hs.read(0, 0)  # cluster 0: V-Ex at L1 and L2
+        hs.read(2, 0)  # cluster 1 reads: L2s become Shared
+        # Evict cluster 1's L1 copy but keep its L2 copy.
+        hs.clusters[1].l1s[0].evict(0)
+        hs.read(2, 0)  # re-read: L2 shared -> demoted fill
+        assert hs.clusters[1].l1s[0].state_of(0) == "Shared"
+        assert hs.audit() == []
+
+    def test_lonely_fill_is_exclusive(self):
+        hs = make_system(name="illinois")
+        hs.read(0, 0)
+        assert hs.clusters[0].l1s[0].state_of(0) == "V-Ex"
+        assert hs.clusters[0].l2_state(0) == "V-Ex"
+
+    def test_dirty_supply_across_clusters_demotes_owner_l1(self):
+        hs = make_system(name="illinois")
+        v = hs.write(0, 0)
+        assert hs.clusters[0].l1s[0].state_of(0) == "Dirty"
+        assert hs.read(2, 0) == v
+        # The owning L1 inherited the L2's demotion (Dirty -> Shared).
+        assert hs.clusters[0].l1s[0].state_of(0) == "Shared"
+        assert hs.clusters[0].l2_state(0) == "Shared"
+        assert hs.memory.peek(0) == v  # Illinois flushes on supply
+
+    def test_l2_eviction_back_invalidates_cluster(self):
+        hs = make_system(l1_sets=8, l2_sets=1, l2_assoc=1)
+        v = hs.write(0, 0)
+        hs.read(0, 1)  # conflicts in the single-set L2: block 0 retired
+        assert not hs.clusters[0].l1s[0].holds(0)
+        assert hs.memory.peek(0) == v  # modified data written back
+        assert hs.read(1, 0) == v
+
+    def test_stats_accumulate(self):
+        hs = make_system()
+        hs.write(0, 0)
+        hs.read(2, 0)
+        assert hs.stats.accesses == 2
+        assert hs.stats.global_misses >= 1
+        assert hs.stats.global_transactions >= 2
+
+
+class TestWorkloadSoak:
+    @pytest.mark.parametrize("name", HIER_PROTOCOLS)
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "hot-block", "migratory", "producer-consumer"]
+    )
+    def test_clean_runs_with_audits(self, name, workload):
+        hs = make_system(name=name, clusters=3, l1s=2, l1_sets=2, l2_sets=4)
+        trace = make_workload(workload, hs.n_processors, 2500, seed=29)
+        violations, _ = hs.run(trace)
+        assert violations == 0
+        assert hs.audit() == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tiny_caches_heavy_eviction(self, seed):
+        """Pathologically small caches maximize inclusion churn."""
+        hs = make_system(
+            clusters=2, l1s=3, l1_sets=1, l1_assoc=1, l2_sets=2, l2_assoc=1
+        )
+        trace = make_workload("uniform", hs.n_processors, 2000, seed=seed)
+        violations, _ = hs.run(trace)
+        assert violations == 0
+        assert hs.audit() == []
+        assert hs.stats.l2_evictions > 0  # the stress actually happened
+
+    def test_buggy_protocol_is_caught_hierarchically(self):
+        from repro.protocols.mutations import get_mutant
+
+        mutant = get_mutant(get_protocol("illinois"), "drop-invalidation")
+        hs = HierarchicalSystem(
+            mutant, 2, 2, l1_sets=4, l2_sets=8, strict=False
+        )
+        trace = make_workload("hot-block", hs.n_processors, 8000, seed=3)
+        violations, first = hs.run(trace)
+        assert violations > 0
+        assert first is not None
+
+
+class TestAudit:
+    def test_audit_detects_planted_inclusion_violation(self):
+        hs = make_system()
+        hs.read(0, 0)
+        hs.clusters[0].l2.evict(0)  # break inclusion behind the back
+        problems = hs.audit()
+        assert any("inclusion" in p for p in problems)
+
+    def test_audit_detects_planted_exclusivity_violation(self):
+        hs = make_system(name="illinois")
+        hs.read(0, 0)  # V-Ex
+        hs.read(2, 0)  # both Shared
+        hs.clusters[0].l1s[0].set_state(0, "V-Ex")  # illegal upgrade
+        problems = hs.audit()
+        assert any("exclusive" in p.lower() for p in problems)
+
+    def test_strict_mode_raises(self):
+        from repro.protocols.mutations import get_mutant
+
+        mutant = get_mutant(get_protocol("msi"), "drop-invalidation")
+        hs = HierarchicalSystem(mutant, 2, 2, strict=True)
+        with pytest.raises(CoherenceViolationError):
+            hs.read(0, 0)
+            hs.read(1, 0)
+            hs.write(0, 0)
+            hs.read(1, 0)

@@ -1,0 +1,232 @@
+"""Behavioural tests for the write-invalidate protocol zoo.
+
+Each test pins a coherence action to the published protocol
+description: who supplies a miss, who is invalidated, when memory is
+updated, and which global states the symbolic expansion reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.essential import explore
+from repro.core.reactions import Ctx, INITIATOR, MEMORY
+from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
+from repro.protocols.berkeley import BerkeleyProtocol
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.msi import MsiProtocol
+from repro.protocols.synapse import SynapseProtocol
+from repro.protocols.write_once import WriteOnceProtocol
+
+
+def ctx(*symbols: str, copies: CountCase | None = None) -> Ctx:
+    """Context with the given other-cache states present."""
+    if copies is None:
+        copies = CountCase.ZERO if not symbols else CountCase.ONE
+    return Ctx(frozenset(symbols), copies)
+
+
+class TestIllinoisReactions:
+    spec = IllinoisProtocol()
+
+    def test_read_miss_no_copies_loads_exclusive(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx())
+        assert outcome.next_state == "V-Ex"
+        assert outcome.load_from == MEMORY
+
+    def test_read_miss_with_clean_copy_loads_shared_from_cache(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("V-Ex"))
+        assert outcome.next_state == "Shared"
+        assert outcome.load_from is not None
+        assert outcome.load_from.kind == "cache"
+        assert outcome.observers["V-Ex"].next_state == "Shared"
+
+    def test_read_miss_with_dirty_copy_flushes_memory(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Dirty"))
+        assert outcome.writeback_from == "Dirty"
+        assert outcome.observers["Dirty"].next_state == "Shared"
+
+    def test_write_hit_exclusive_is_silent(self):
+        outcome = self.spec.react("V-Ex", Op.WRITE, ctx())
+        assert outcome.next_state == "Dirty"
+        assert not outcome.observers
+        assert not outcome.write_through
+
+    def test_write_hit_shared_invalidates(self):
+        outcome = self.spec.react("Shared", Op.WRITE, ctx("Shared", copies=CountCase.MANY))
+        assert outcome.next_state == "Dirty"
+        assert outcome.observers["Shared"].next_state == "Invalid"
+
+    def test_replacement_dirty_writes_back(self):
+        outcome = self.spec.react("Dirty", Op.REPLACE, ctx())
+        assert outcome.next_state == "Invalid"
+        assert outcome.writeback_from == INITIATOR
+
+    def test_replacement_clean_is_silent(self):
+        for state in ("V-Ex", "Shared"):
+            outcome = self.spec.react(state, Op.REPLACE, ctx())
+            assert outcome.writeback_from is None
+
+
+class TestWriteOnceReactions:
+    spec = WriteOnceProtocol()
+
+    def test_first_write_writes_through(self):
+        """The defining write-once rule."""
+        outcome = self.spec.react("Valid", Op.WRITE, ctx("Valid"))
+        assert outcome.next_state == "Reserved"
+        assert outcome.write_through
+        assert outcome.observers["Valid"].next_state == "Invalid"
+
+    def test_second_write_goes_dirty_silently(self):
+        outcome = self.spec.react("Reserved", Op.WRITE, ctx())
+        assert outcome.next_state == "Dirty"
+        assert not outcome.write_through
+        assert not outcome.observers
+
+    def test_read_miss_always_loads_valid(self):
+        for others in ((), ("Valid",), ("Reserved",), ("Dirty",)):
+            outcome = self.spec.react("Invalid", Op.READ, ctx(*others))
+            assert outcome.next_state == "Valid"
+
+    def test_read_miss_demotes_reserved(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Reserved"))
+        assert outcome.observers["Reserved"].next_state == "Valid"
+
+    def test_read_miss_flushes_dirty_supplier(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Dirty"))
+        assert outcome.writeback_from == "Dirty"
+        assert outcome.observers["Dirty"].next_state == "Valid"
+
+    def test_essential_states(self):
+        result = explore(self.spec)
+        structures = {s.pretty(annotations=False) for s in result.essential}
+        assert structures == {
+            "(Invalid:nodata+)",
+            "(Invalid:nodata*, Valid:fresh+)",
+            "(Invalid:nodata*, Reserved:fresh)",
+            "(Dirty:fresh, Invalid:nodata*)",
+        }
+
+    def test_reserved_means_memory_fresh(self):
+        result = explore(self.spec)
+        for state in result.essential:
+            if any(lbl.symbol == "Reserved" for lbl, _ in state.classes):
+                assert state.mdata is DataValue.FRESH
+            if any(lbl.symbol == "Dirty" for lbl, _ in state.classes):
+                assert state.mdata is DataValue.OBSOLETE
+
+
+class TestSynapseReactions:
+    spec = SynapseProtocol()
+
+    def test_no_cache_to_cache_transfer_ever(self):
+        """Synapse's defining restriction."""
+        for state in self.spec.states:
+            for op in self.spec.operations:
+                if not self.spec.applicable(state, op):
+                    continue
+                for others in ((), ("Valid",), ("Dirty",)):
+                    outcome = self.spec.react(state, op, ctx(*others))
+                    if outcome.load_from is not None:
+                        assert outcome.load_from == MEMORY
+
+    def test_read_miss_on_dirty_invalidates_owner(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Dirty"))
+        assert outcome.observers["Dirty"].next_state == "Invalid"
+        assert outcome.writeback_from == "Dirty"
+        assert outcome.load_from == MEMORY
+
+    def test_write_hit_valid_behaves_like_miss(self):
+        outcome = self.spec.react("Valid", Op.WRITE, ctx("Valid"))
+        assert outcome.next_state == "Dirty"
+        assert outcome.observers["Valid"].next_state == "Invalid"
+
+    def test_essential_states(self):
+        result = explore(self.spec)
+        structures = {s.pretty(annotations=False) for s in result.essential}
+        assert structures == {
+            "(Invalid:nodata+)",
+            "(Invalid:nodata*, Valid:fresh+)",
+            "(Dirty:fresh, Invalid:nodata*)",
+        }
+
+
+class TestBerkeleyReactions:
+    spec = BerkeleyProtocol()
+
+    def test_owner_supplies_without_memory_update(self):
+        """Berkeley's defining feature: direct transfer, stale memory."""
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Dirty"))
+        assert outcome.load_from is not None
+        assert outcome.load_from.kind == "cache"
+        assert outcome.writeback_from is None
+        assert outcome.observers["Dirty"].next_state == "Shared-Dirty"
+
+    def test_shared_dirty_keeps_ownership_on_further_misses(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Shared-Dirty"))
+        assert "Shared-Dirty" not in outcome.observers
+
+    def test_owner_writes_back_on_replacement(self):
+        for state in ("Dirty", "Shared-Dirty"):
+            outcome = self.spec.react(state, Op.REPLACE, ctx())
+            assert outcome.writeback_from == INITIATOR
+
+    def test_valid_drops_silently(self):
+        outcome = self.spec.react("Valid", Op.REPLACE, ctx())
+        assert outcome.writeback_from is None
+
+    def test_write_hit_claims_ownership(self):
+        for state in ("Valid", "Shared-Dirty"):
+            outcome = self.spec.react(state, Op.WRITE, ctx("Valid"))
+            assert outcome.next_state == "Dirty"
+            assert outcome.observers["Valid"].next_state == "Invalid"
+
+    def test_memory_stale_while_owned_shared(self):
+        result = explore(self.spec)
+        assert result.ok
+        for state in result.essential:
+            symbols = {lbl.symbol for lbl, _ in state.classes}
+            if "Shared-Dirty" in symbols or "Dirty" in symbols:
+                assert state.mdata is DataValue.OBSOLETE
+
+    def test_essential_state_count(self):
+        assert len(explore(self.spec).essential) == 5
+
+
+class TestMsiReactions:
+    spec = MsiProtocol()
+
+    def test_read_miss_always_shared(self):
+        for others in ((), ("Shared",), ("Modified",)):
+            outcome = self.spec.react("Invalid", Op.READ, ctx(*others))
+            assert outcome.next_state == "Shared"
+
+    def test_owner_flushes_and_demotes_on_read_miss(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Modified"))
+        assert outcome.writeback_from == "Modified"
+        assert outcome.observers["Modified"].next_state == "Shared"
+
+    def test_essential_states(self):
+        result = explore(self.spec)
+        assert len(result.essential) == 3
+        assert result.ok
+
+
+class TestZooVerification:
+    def test_every_protocol_verifies(self, explored_augmented):
+        for name, result in explored_augmented.items():
+            assert result.ok, f"{name} failed verification"
+
+    def test_essential_counts_are_small_constants(self, explored_augmented):
+        for name, result in explored_augmented.items():
+            assert len(result.essential) <= 8, name
+
+    def test_sharing_annotations_only_for_sharing_protocols(
+        self, explored_augmented, every_protocol
+    ):
+        by_name = {spec.name: spec for spec in every_protocol}
+        for name, result in explored_augmented.items():
+            uses = by_name[name].uses_sharing_detection
+            for state in result.essential:
+                assert (state.sharing is not None) == uses

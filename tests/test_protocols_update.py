@@ -1,0 +1,169 @@
+"""Behavioural tests for the write-update protocols (Firefly, Dragon)
+and for MOESI."""
+
+from __future__ import annotations
+
+from repro.core.essential import explore
+from repro.core.reactions import Ctx, INITIATOR, MEMORY
+from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
+from repro.protocols.dragon import DragonProtocol
+from repro.protocols.firefly import FireflyProtocol
+from repro.protocols.moesi import MoesiProtocol
+
+
+def ctx(*symbols: str, copies: CountCase | None = None) -> Ctx:
+    if copies is None:
+        copies = CountCase.ZERO if not symbols else CountCase.ONE
+    return Ctx(frozenset(symbols), copies)
+
+
+class TestFireflyReactions:
+    spec = FireflyProtocol()
+
+    def test_no_invalidation_ever(self):
+        """Firefly never invalidates a copy through coherence actions."""
+        for state in self.spec.states:
+            for op in (Op.READ, Op.WRITE):
+                for others in ((), ("Shared",), ("V-Ex",), ("Dirty",)):
+                    outcome = self.spec.react(state, op, ctx(*others))
+                    for reaction in outcome.observers.values():
+                        assert reaction.next_state != "Invalid"
+
+    def test_shared_write_is_write_through_update(self):
+        outcome = self.spec.react(
+            "Shared", Op.WRITE, ctx("Shared", copies=CountCase.MANY)
+        )
+        assert outcome.next_state == "Shared"
+        assert outcome.write_through
+        assert outcome.observers["Shared"].updated
+
+    def test_shared_write_without_sharers_becomes_exclusive(self):
+        """SharedLine off: the write-through just cleaned the block."""
+        outcome = self.spec.react("Shared", Op.WRITE, ctx())
+        assert outcome.next_state == "V-Ex"
+        assert outcome.write_through
+
+    def test_write_miss_alone_goes_dirty(self):
+        outcome = self.spec.react("Invalid", Op.WRITE, ctx())
+        assert outcome.next_state == "Dirty"
+        assert outcome.load_from == MEMORY
+        assert not outcome.write_through
+
+    def test_write_miss_with_sharers_broadcasts(self):
+        outcome = self.spec.react("Invalid", Op.WRITE, ctx("Shared"))
+        assert outcome.next_state == "Shared"
+        assert outcome.write_through
+        assert outcome.observers["Shared"].updated
+
+    def test_essential_states(self):
+        result = explore(self.spec)
+        assert result.ok
+        assert len(result.essential) == 5
+
+    def test_memory_fresh_whenever_shared(self):
+        """Firefly's write-through keeps memory consistent with shared
+        copies (unlike Dragon)."""
+        result = explore(self.spec)
+        for state in result.essential:
+            if any(lbl.symbol == "Shared" for lbl, _ in state.classes):
+                assert state.mdata is DataValue.FRESH
+
+
+class TestDragonReactions:
+    spec = DragonProtocol()
+
+    def test_shared_write_updates_without_write_through(self):
+        """Dragon's defining feature: broadcast but no memory update."""
+        outcome = self.spec.react(
+            "Shared-Clean", Op.WRITE, ctx("Shared-Clean", copies=CountCase.MANY)
+        )
+        assert outcome.next_state == "Shared-Modified"
+        assert not outcome.write_through
+        assert outcome.observers["Shared-Clean"].updated
+
+    def test_writer_takes_ownership_from_previous_owner(self):
+        outcome = self.spec.react("Shared-Clean", Op.WRITE, ctx("Shared-Modified"))
+        assert outcome.next_state == "Shared-Modified"
+        assert outcome.observers["Shared-Modified"].next_state == "Shared-Clean"
+
+    def test_lonely_shared_write_goes_modified(self):
+        outcome = self.spec.react("Shared-Clean", Op.WRITE, ctx())
+        assert outcome.next_state == "Modified"
+
+    def test_modified_supplier_keeps_writeback_duty(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Modified"))
+        assert outcome.observers["Modified"].next_state == "Shared-Modified"
+        assert outcome.writeback_from is None  # memory NOT updated
+
+    def test_owners_write_back_on_replacement(self):
+        for state in ("Modified", "Shared-Modified"):
+            outcome = self.spec.react(state, Op.REPLACE, ctx())
+            assert outcome.writeback_from == INITIATOR
+
+    def test_essential_states(self):
+        result = explore(self.spec)
+        assert result.ok
+        assert len(result.essential) == 7
+
+    def test_owned_sharing_leaves_memory_stale(self):
+        result = explore(self.spec)
+        stale = [
+            s
+            for s in result.essential
+            if any(lbl.symbol == "Shared-Modified" for lbl, _ in s.classes)
+        ]
+        assert stale, "expected reachable Shared-Modified states"
+        for state in stale:
+            assert state.mdata is DataValue.OBSOLETE
+
+
+class TestMoesiReactions:
+    spec = MoesiProtocol()
+
+    def test_modified_supplier_becomes_owned(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Modified"))
+        assert outcome.observers["Modified"].next_state == "Owned"
+        assert outcome.writeback_from is None
+
+    def test_owned_supplies_repeatedly(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx("Owned"))
+        assert outcome.load_from is not None
+        assert outcome.load_from.symbol == "Owned"
+        assert "Owned" not in outcome.observers
+
+    def test_lonely_read_miss_is_exclusive(self):
+        outcome = self.spec.react("Invalid", Op.READ, ctx())
+        assert outcome.next_state == "Exclusive"
+
+    def test_exclusive_write_is_silent(self):
+        outcome = self.spec.react("Exclusive", Op.WRITE, ctx())
+        assert outcome.next_state == "Modified"
+        assert not outcome.observers
+
+    def test_essential_states(self):
+        result = explore(self.spec)
+        assert result.ok
+        assert len(result.essential) == 7
+
+
+class TestUpdateVsInvalidateShape:
+    def test_update_protocols_preserve_sharers_on_write(
+        self, explored_augmented
+    ):
+        """In Firefly/Dragon a write to a MANY-sharing state stays in a
+        sharing state; in Illinois it collapses to a single owner."""
+
+        def write_targets(result, from_sharing):
+            return {
+                t.target
+                for t in result.transitions
+                if t.label.op is Op.WRITE and t.source.sharing is from_sharing
+            }
+
+        for name in ("firefly", "dragon"):
+            targets = write_targets(explored_augmented[name], SharingLevel.MANY)
+            assert any(t.sharing is SharingLevel.MANY for t in targets), name
+        illinois_targets = write_targets(
+            explored_augmented["illinois"], SharingLevel.MANY
+        )
+        assert all(t.sharing is SharingLevel.ONE for t in illinois_targets)

@@ -1,0 +1,274 @@
+"""Tests for the executable snooping-bus multiprocessor simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.symbols import Op
+from repro.protocols.berkeley import BerkeleyProtocol
+from repro.protocols.dragon import DragonProtocol
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.mutations import get_mutant
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.simulator import (
+    Access,
+    AccessKind,
+    Cache,
+    CoherenceViolationError,
+    System,
+    Trace,
+    make_workload,
+)
+
+
+class TestCache:
+    def test_fill_and_lookup(self):
+        cache = Cache(0, 4, "Invalid")
+        cache.fill(8, "Shared", 7)
+        assert cache.holds(8)
+        assert cache.state_of(8) == "Shared"
+        assert cache.line_for(8).value == 7
+
+    def test_absent_block_is_invalid(self):
+        cache = Cache(0, 4, "Invalid")
+        assert cache.state_of(3) == "Invalid"
+        assert not cache.holds(3)
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache(0, 4, "Invalid")
+        cache.fill(1, "Shared", 1)
+        assert cache.victim_for(5) is not None  # 5 % 4 == 1 % 4
+        assert cache.victim_for(2) is None
+        cache.evict(1)
+        cache.fill(5, "Shared", 2)
+        assert not cache.holds(1)
+        assert cache.holds(5)
+
+    def test_fill_requires_prior_eviction(self):
+        cache = Cache(0, 4, "Invalid")
+        cache.fill(1, "Shared", 1)
+        with pytest.raises(RuntimeError, match="evict"):
+            cache.fill(5, "Shared", 2)
+
+    def test_same_block_is_not_its_own_victim(self):
+        cache = Cache(0, 4, "Invalid")
+        cache.fill(1, "Shared", 1)
+        assert cache.victim_for(1) is None
+
+    def test_two_way_set_holds_conflicting_blocks(self):
+        cache = Cache(0, 4, "Invalid", assoc=2)
+        cache.fill(1, "Shared", 1)
+        assert cache.victim_for(5) is None  # second way is free
+        cache.fill(5, "Shared", 2)
+        assert cache.holds(1) and cache.holds(5)
+        assert cache.victim_for(9) is not None  # now the set is full
+
+    def test_lru_victim_selection(self):
+        cache = Cache(0, 1, "Invalid", assoc=2)
+        cache.fill(0, "Shared", 1)
+        cache.fill(1, "Shared", 2)
+        cache.touch(0)  # block 0 becomes MRU; block 1 is the LRU victim
+        victim = cache.victim_for(2)
+        assert victim is not None and victim.addr == 1
+
+    def test_pinned_lines_skipped_by_victim_search(self):
+        cache = Cache(0, 1, "Invalid", assoc=2)
+        cache.fill(0, "Locked", 1)
+        cache.fill(1, "Shared", 2)
+        victim = cache.victim_for(2, replaceable=lambda s: s != "Locked")
+        assert victim is not None and victim.addr == 1
+
+    def test_invalid_way_reused_without_eviction(self):
+        cache = Cache(0, 1, "Invalid", assoc=2)
+        cache.fill(0, "Shared", 1)
+        cache.fill(1, "Shared", 2)
+        cache.evict(0)
+        assert cache.victim_for(2) is None
+        cache.fill(2, "Shared", 3)
+        assert cache.holds(1) and cache.holds(2)
+
+    def test_capacity(self):
+        assert Cache(0, 4, "Invalid", assoc=2).capacity == 8
+
+    def test_bad_associativity(self):
+        with pytest.raises(ValueError):
+            Cache(0, 4, "Invalid", assoc=0)
+
+    def test_evict(self):
+        cache = Cache(0, 4, "Invalid")
+        cache.fill(1, "Dirty", 9)
+        cache.evict(1)
+        assert not cache.holds(1)
+
+    def test_set_state_on_missing_block_raises(self):
+        cache = Cache(0, 4, "Invalid")
+        with pytest.raises(KeyError):
+            cache.set_state(1, "Shared")
+
+    def test_needs_at_least_one_set(self):
+        with pytest.raises(ValueError):
+            Cache(0, 0, "Invalid")
+
+
+class TestBasicCoherence:
+    def test_read_after_remote_write_sees_new_value(self):
+        system = System(IllinoisProtocol(), 2)
+        v = system.write(0, 0)
+        assert system.read(1, 0) == v
+
+    def test_write_write_read_chain(self):
+        system = System(IllinoisProtocol(), 3)
+        system.write(0, 0)
+        v2 = system.write(1, 0)
+        assert system.read(2, 0) == v2
+
+    def test_read_unwritten_block_is_version_zero(self):
+        system = System(IllinoisProtocol(), 2)
+        assert system.read(0, 5) == 0
+
+    def test_dirty_supplier_path(self):
+        system = System(IllinoisProtocol(), 2)
+        v = system.write(0, 0)  # P0: Dirty
+        assert system.read(1, 0) == v  # supplied cache-to-cache
+        snap = system.coherence_snapshot(0)
+        assert snap["states"] == ["Shared", "Shared"]
+        assert snap["memory"] == v  # Illinois flushes on supply
+
+    def test_berkeley_supply_leaves_memory_stale(self):
+        system = System(BerkeleyProtocol(), 2)
+        v = system.write(0, 0)
+        assert system.read(1, 0) == v
+        snap = system.coherence_snapshot(0)
+        assert snap["memory"] == 0  # memory NOT updated
+        assert snap["states"] == ["Shared-Dirty", "Valid"]
+
+    def test_dragon_update_broadcast(self):
+        system = System(DragonProtocol(), 2)
+        system.write(0, 0)
+        system.read(1, 0)
+        v = system.write(0, 0)  # broadcast update to P1's copy
+        assert system.caches[1].line_for(0).value == v
+
+    def test_write_once_first_write_through(self):
+        system = System(WriteOnceProtocol(), 2)
+        system.read(0, 0)
+        v = system.write(0, 0)
+        assert system.caches[0].state_of(0) == "Reserved"
+        assert system.memory.peek(0) == v
+        v2 = system.write(0, 0)
+        assert system.caches[0].state_of(0) == "Dirty"
+        assert system.memory.peek(0) == v  # second write stays local
+
+    def test_replacement_writes_back(self):
+        system = System(IllinoisProtocol(), 1, num_sets=1)
+        v = system.write(0, 0)
+        system.read(0, 1)  # conflicts with 0: forces replacement
+        assert system.memory.peek(0) == v
+        assert system.read(0, 0) == v
+
+    def test_stats_counted(self):
+        system = System(IllinoisProtocol(), 2)
+        system.write(0, 0)
+        system.read(1, 0)
+        system.read(1, 0)
+        assert system.stats.accesses == 3
+        assert system.stats.misses == 2
+        assert system.stats.hits == 1
+        assert system.bus.stats.cache_to_cache == 1
+
+
+class TestTraceRunning:
+    def test_trace_validation(self):
+        system = System(IllinoisProtocol(), 2)
+        trace = Trace([Access(5, AccessKind.READ, 0)])
+        with pytest.raises(ValueError):
+            system.run(trace)
+
+    def test_run_reports_stats(self):
+        system = System(IllinoisProtocol(), 4)
+        trace = make_workload("uniform", 4, 500, seed=1)
+        report = system.run(trace)
+        assert report.ok
+        assert report.stats.accesses == 500
+        assert "no violations" in report.summary()
+
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "hot-block", "migratory", "producer-consumer"]
+    )
+    def test_all_protocols_all_workloads_clean(self, every_protocol, workload):
+        for spec in every_protocol:
+            system = System(spec, 3, num_sets=4)
+            report = system.run(make_workload(workload, 3, 1200, seed=11))
+            assert report.ok, (spec.name, workload, report.summary())
+
+
+class TestBugDetectionBySimulation:
+    def test_strict_mode_raises(self):
+        mutant = get_mutant(IllinoisProtocol(), "drop-invalidation")
+        system = System(mutant, 2, strict=True)
+        with pytest.raises(CoherenceViolationError):
+            # P0 and P1 share; P0's write no longer invalidates P1.
+            system.read(0, 0)
+            system.read(1, 0)
+            system.write(0, 0)
+            system.read(1, 0)
+
+    def test_record_mode_reports_first_violation(self):
+        mutant = get_mutant(IllinoisProtocol(), "drop-invalidation")
+        system = System(mutant, 4, strict=False)
+        report = system.run(make_workload("hot-block", 4, 5000, seed=3))
+        assert not report.ok
+        assert report.first_violation is not None
+        assert report.violations[0].index == report.first_violation
+
+    def test_low_sharing_workload_may_miss_the_bug(self):
+        """The incompleteness argument: a private-data workload never
+        drives a drop-invalidation bug into an erroneous configuration."""
+        mutant = get_mutant(IllinoisProtocol(), "drop-invalidation")
+        system = System(mutant, 4, strict=False)
+        # Strictly private blocks: each processor touches its own block.
+        accesses = []
+        import random
+
+        rng = random.Random(0)
+        for _ in range(2000):
+            pid = rng.randrange(4)
+            kind = AccessKind.WRITE if rng.random() < 0.5 else AccessKind.READ
+            accesses.append(Access(pid, kind, 100 + pid))
+        report = system.run(Trace(accesses))
+        assert report.ok  # the bug exists but testing never sees it
+
+
+class TestWorkloads:
+    def test_determinism(self):
+        a = make_workload("uniform", 4, 100, seed=5)
+        b = make_workload("uniform", 4, 100, seed=5)
+        assert list(a) == list(b)
+
+    def test_seeds_differ(self):
+        a = make_workload("uniform", 4, 100, seed=5)
+        b = make_workload("uniform", 4, 100, seed=6)
+        assert list(a) != list(b)
+
+    def test_lengths(self):
+        for name in ("uniform", "hot-block", "migratory", "producer-consumer"):
+            assert len(make_workload(name, 3, 123, seed=0)) == 123
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            make_workload("nope", 2, 10)
+
+    def test_producer_consumer_single_writer(self):
+        trace = make_workload("producer-consumer", 4, 400, seed=2)
+        writers = {a.pid for a in trace if a.kind is AccessKind.WRITE}
+        assert writers == {0}
+
+    def test_trace_describe(self):
+        trace = make_workload("uniform", 4, 100, seed=0)
+        text = trace.describe()
+        assert "100 accesses" in text
+
+    def test_trace_slicing(self):
+        trace = make_workload("uniform", 4, 100, seed=0)
+        assert len(trace[:10]) == 10
+        assert trace[0] == list(trace)[0]

@@ -1,0 +1,143 @@
+"""Tests for the traffic-sweep harness and small simulator components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import metric_series, sweep_table, traffic_sweep
+from repro.protocols.registry import get_protocol
+from repro.simulator.checker import GoldenChecker
+from repro.simulator.memory import MainMemory
+from repro.simulator.trace import Access, AccessKind
+
+
+class TestTrafficSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return traffic_sweep(
+            [get_protocol("msi"), get_protocol("firefly")],
+            ["hot-block"],
+            [2, 4],
+            length=1500,
+            seed=7,
+        )
+
+    def test_point_count(self, points):
+        assert len(points) == 2 * 1 * 2
+
+    def test_no_violations_for_verified_protocols(self, points):
+        assert all(p.violations == 0 for p in points)
+
+    def test_hit_rates_in_range(self, points):
+        assert all(0.0 <= p.hit_rate <= 1.0 for p in points)
+
+    def test_invalidate_vs_update_traffic_split(self, points):
+        msi = [p for p in points if p.protocol == "msi"]
+        firefly = [p for p in points if p.protocol == "firefly"]
+        assert all(p.updates == 0 for p in msi)
+        assert all(p.invalidations == 0 for p in firefly)
+        assert any(p.invalidations > 0 for p in msi)
+        assert any(p.updates > 0 for p in firefly)
+
+    def test_table_renders(self, points):
+        text = sweep_table(points, workload="hot-block")
+        assert "msi" in text and "firefly" in text
+        assert "bus/access" in text
+
+    def test_metric_series_sorted_by_size(self, points):
+        series = metric_series(points, "bus_per_access", workload="hot-block")
+        assert set(series) == {"msi", "firefly"}
+        for values in series.values():
+            assert [n for n, _ in values] == [2, 4]
+
+    def test_metric_lookup(self, points):
+        point = points[0]
+        assert point.metric("invalidations") == float(point.invalidations)
+
+
+class TestMainMemory:
+    def test_unwritten_block_is_zero(self):
+        memory = MainMemory()
+        assert memory.read(5) == 0
+        assert memory.peek(5) == 0
+
+    def test_write_then_read(self):
+        memory = MainMemory()
+        memory.write(5, 42)
+        assert memory.read(5) == 42
+
+    def test_counters(self):
+        memory = MainMemory()
+        memory.write(1, 2)
+        memory.read(1)
+        memory.peek(1)  # peek does not count
+        assert memory.reads == 1
+        assert memory.writes == 1
+
+
+class TestGoldenChecker:
+    def test_clean_read_passes(self):
+        checker = GoldenChecker()
+        checker.record_write(0, 7)
+        access = Access(0, AccessKind.READ, 0)
+        assert checker.check_read(0, access, 7) is None
+        assert checker.checked == 1
+
+    def test_stale_read_reported(self):
+        checker = GoldenChecker()
+        checker.record_write(0, 7)
+        access = Access(1, AccessKind.READ, 0)
+        violation = checker.check_read(3, access, 5)
+        assert violation is not None
+        assert violation.expected == 7
+        assert violation.observed == 5
+        assert violation.index == 3
+        assert "version 5" in str(violation)
+
+    def test_default_expected_is_zero(self):
+        checker = GoldenChecker()
+        assert checker.expected(9) == 0
+
+
+class TestAccessValidation:
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            Access(-1, AccessKind.READ, 0)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError):
+            Access(0, AccessKind.READ, -4)
+
+    def test_lock_access_renders(self):
+        assert str(Access(2, AccessKind.LOCK, 3)) == "P2 L 0x3"
+        assert str(Access(2, AccessKind.UNLOCK, 3)) == "P2 U 0x3"
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.analysis
+        import repro.core
+        import repro.enumeration
+        import repro.protocols
+        import repro.simulator
+
+        for module in (
+            repro.core,
+            repro.protocols,
+            repro.enumeration,
+            repro.simulator,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,86 @@
+"""Tests for trace file save/load and the sweep/trace CLI paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.simulator.trace import Access, AccessKind, Trace
+from repro.simulator.traceio import dumps, load_trace, loads, save_trace
+from repro.simulator.workloads import locking, make_workload
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        trace = make_workload("uniform", 3, 200, seed=4)
+        assert list(loads(dumps(trace))) == list(trace)
+
+    def test_locking_trace_round_trips(self):
+        trace = locking(4, 100, seed=1)
+        assert list(loads(dumps(trace))) == list(trace)
+
+    def test_file_round_trip(self, tmp_path):
+        trace = make_workload("migratory", 2, 50, seed=9)
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        assert list(load_trace(path)) == list(trace)
+
+    def test_header_comment_present(self):
+        text = dumps(make_workload("uniform", 2, 10, seed=0))
+        assert text.startswith("#")
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        trace = loads("# header\n\n0 R 0x1\n1 W 2  # inline\n")
+        assert list(trace) == [
+            Access(0, AccessKind.READ, 1),
+            Access(1, AccessKind.WRITE, 2),
+        ]
+
+    def test_decimal_and_hex_addresses(self):
+        trace = loads("0 R 16\n0 R 0x10\n")
+        assert trace[0].addr == trace[1].addr == 16
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ("0 R", "expected"),
+            ("0 Q 0x1", "unknown access kind"),
+            ("x R 0x1", "line 1"),
+            ("-1 R 0x1", "line 1"),
+        ],
+    )
+    def test_bad_lines_rejected_with_line_numbers(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            loads(bad)
+
+    def test_empty_text_is_empty_trace(self):
+        assert len(loads("")) == 0
+
+
+class TestCli:
+    def test_save_and_replay(self, tmp_path, capsys):
+        path = tmp_path / "run.trace"
+        assert (
+            main(
+                ["simulate", "msi", "-l", "300", "--save-trace", str(path)]
+            )
+            == 0
+        )
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["simulate", "msi", "--trace-file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "300 accesses" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "msi", "-p", "2", "-l", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic sweep" in out
+        assert "msi" in out
+
+    def test_sweep_all_protocols(self, capsys):
+        assert main(["sweep", "all", "-p", "2", "-l", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "dragon" in out and "illinois" in out
