@@ -1,0 +1,104 @@
+"""E13 (extension) -- batch-verification engine: runners and the cache.
+
+The paper's complexity result makes one verification cheap; the batch
+engine (:mod:`repro.engine`) makes *campaigns* cheap: the full
+mutant-detection sweep is dispatched as one job list, optionally over a
+pool of worker processes, and completed verdicts are replayed from the
+content-addressed result cache on every later run.
+
+This benchmark times the same sweep three ways -- sequential in-process,
+through the parallel runner, and against a warm cache -- and prints the
+engine's own end-of-run summary.  On a multi-core box the parallel
+column shrinks with the worker count; the warm-cache column collapses
+to cache-replay time with **zero** re-verifications, which the journal
+proves (no machine-dependent speedup is asserted, since CI may pin the
+suite to one core).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.engine import ResultCache, VerificationJob, run_batch
+from repro.protocols.mutations import mutants_for
+from repro.protocols.registry import all_protocols
+
+WORKERS = 4
+
+
+def _sweep_jobs() -> list[VerificationJob]:
+    """The full mutant-detection campaign as engine jobs."""
+    jobs = []
+    for spec in all_protocols():
+        for mutant in mutants_for(spec):
+            jobs.append(
+                VerificationJob(protocol=spec.name, mutant=mutant.mutation.key)
+            )
+    return jobs
+
+
+def _timed(label: str, **kwargs):
+    jobs = _sweep_jobs()
+    started = time.perf_counter()
+    report = run_batch(jobs, **kwargs)
+    return label, time.perf_counter() - started, report
+
+
+def test_batch_engine_modes(benchmark, emit, tmp_path):
+    def _run_all_modes():
+        cache = ResultCache(tmp_path / "cache")
+        serial = _timed("sequential (1 proc)")
+        parallel = _timed(f"parallel ({WORKERS} procs)", workers=WORKERS)
+        cold = _timed("cold cache (fills)", cache=cache)
+        warm = _timed("warm cache (replays)", cache=cache)
+        return serial, parallel, cold, warm
+
+    modes = benchmark.pedantic(_run_all_modes, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            len(report.results),
+            report.violations,
+            report.cache_hits,
+            f"{wall * 1000:.0f} ms",
+        ]
+        for label, wall, report in modes
+    ]
+    emit(
+        "E13 (extension) -- batch engine: one mutant-sweep campaign, "
+        "three execution modes\n"
+        + format_table(
+            ["mode", "jobs", "violations", "cache hits", "wall"], rows
+        )
+    )
+
+    serial, parallel, _, warm = modes
+    # Parallel and sequential dispatch agree verdict-for-verdict.
+    for s, p in zip(serial[2].results, parallel[2].results):
+        assert s.status == p.status
+    # The warm run re-verified nothing: every job replayed from cache.
+    warm_report = warm[2]
+    assert warm_report.cache_hits == len(warm_report.results)
+    assert warm_report.journal.count("cache_hit") == len(warm_report.results)
+    assert all(
+        record["cached"] for record in warm_report.journal.of("job_finish")
+    )
+
+
+def test_cache_replay_cost(benchmark, tmp_path):
+    """Time to replay one verdict from the persistent cache."""
+    cache = ResultCache(tmp_path / "cache")
+    jobs = [VerificationJob(protocol="illinois")]
+    run_batch(jobs, cache=cache)  # fill
+    report = benchmark(lambda: run_batch(jobs, cache=cache))
+    assert report.cache_hits == 1
+
+
+def test_parallel_dispatch_cost(benchmark):
+    """Round-trip cost of pool dispatch for a small job list."""
+    jobs = [VerificationJob(protocol=name) for name in ("msi", "synapse")]
+    report = benchmark.pedantic(
+        lambda: run_batch(jobs, workers=2), rounds=3, iterations=1
+    )
+    assert report.ok

@@ -13,8 +13,16 @@ argues the drastic complexity reduction "lets us contemplate efficient
 verification of much more complex protocols": the verifier becomes an
 interactive design instrument rather than a one-off certification.
 
+The sweep runs on the batch-verification engine
+(:mod:`repro.engine`): every single-point edit becomes one crash-
+isolated verification job, so set ``REPRO_FRAGILITY_JOBS`` to fan the
+sweep out over worker processes.
+
 Run:  python examples/fragility_map.py
+      REPRO_FRAGILITY_JOBS=4 python examples/fragility_map.py   # parallel
 """
+
+import os
 
 from repro.analysis.reporting import format_table
 from repro.protocols.perturb import criticality_profile
@@ -24,10 +32,11 @@ PROTOCOLS = ("msi", "illinois", "firefly")
 
 
 def main() -> None:
+    workers = int(os.environ.get("REPRO_FRAGILITY_JOBS", "1"))
     summary_rows = []
     for name in PROTOCOLS:
         spec = get_protocol(name)
-        report = criticality_profile(spec, picks=2)
+        report = criticality_profile(spec, picks=2, jobs=workers)
         print(
             format_table(
                 ["state", "op", "broken/judged", "fragility"],

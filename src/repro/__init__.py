@@ -29,11 +29,13 @@ from .core import (
     explore,
     verify,
 )
+from .engine import BatchReport, ResultCache, RunJournal, VerificationJob, run_batch
 from .protocols import all_protocols, get_protocol, protocol_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchReport",
     "CompositeState",
     "DataValue",
     "ExpansionResult",
@@ -41,12 +43,16 @@ __all__ = [
     "ProtocolSpec",
     "PruningMode",
     "Rep",
+    "ResultCache",
+    "RunJournal",
     "SharingLevel",
+    "VerificationJob",
     "VerificationReport",
     "__version__",
     "all_protocols",
     "explore",
     "get_protocol",
     "protocol_names",
+    "run_batch",
     "verify",
 ]

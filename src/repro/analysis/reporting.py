@@ -24,6 +24,7 @@ __all__ = [
     "figure4_table",
     "expansion_listing",
     "essential_state_rows",
+    "batch_summary_table",
 ]
 
 
@@ -95,6 +96,24 @@ def figure4_table(result: ExpansionResult) -> str:
         ["state", "sharing(F)", "cdata", "mdata"],
         essential_state_rows(result),
         title=f"Figure 4 table -- {result.spec.full_name or result.spec.name}",
+    )
+
+
+def batch_summary_table(
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "Batch verification summary",
+) -> str:
+    """The end-of-run table of the batch engine.
+
+    ``rows`` come from :meth:`repro.engine.BatchReport.rows`: one row
+    per job with verdict, essential-state count, state visits, wall
+    time and result source (fresh run vs cache replay).
+    """
+    return format_table(
+        ["job", "verdict", "essential", "visits", "time", "source"],
+        rows,
+        title=title,
     )
 
 

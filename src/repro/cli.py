@@ -5,12 +5,18 @@ Subcommands cover the full workflow a protocol designer would use:
 * ``repro list`` -- the protocol zoo;
 * ``repro verify illinois`` -- symbolic verification with report,
   diagram and counterexamples;
+* ``repro batch --protocols all --mutants --jobs 8`` -- the batch
+  engine: parallel verification with result caching and a run journal;
 * ``repro mutants illinois`` -- verify every injected-bug variant;
 * ``repro enumerate illinois -n 4`` -- the explicit Figure 2 baseline;
 * ``repro crossval illinois`` -- the Theorem 1 completeness check;
 * ``repro simulate illinois -w hot-block`` -- run the executable
   multiprocessor on a synthetic workload;
 * ``repro compare illinois firefly`` -- diagram similarity analysis.
+
+Every subcommand uses the same exit-status convention (documented in
+``repro --help``): 0 for success, 1 when verification found violations
+(or mutants escaped), 2 for usage, specification or input errors.
 """
 
 from __future__ import annotations
@@ -24,26 +30,35 @@ from .analysis.reporting import expansion_listing, figure4_table, format_table
 from .core.essential import PruningMode, explore
 from .core.graph import to_dot
 from .analysis.fsm import check_definition_1
+from .core.protocol import ProtocolDefinitionError
 from .core.serialize import result_to_json
 from .core.verifier import verify
 from .enumeration.crossval import cross_validate
 from .enumeration.exhaustive import Equivalence, enumerate_space
-from .protocols.dsl import load_protocol
+from .protocols.dsl import DslError, load_protocol
 from .protocols.perturb import criticality_profile
 from .protocols.mutations import MUTATIONS, get_mutant, mutants_for
-from .protocols.registry import all_protocols, get_protocol
+from .protocols.registry import all_protocols, protocol_names, resolve_specs
 from .simulator.system import System
 from .simulator.traceio import load_trace, save_trace
 from .simulator.workloads import WORKLOADS, make_workload
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_VIOLATION", "EXIT_ERROR"]
 
+#: Exit status: every requested check passed.
+EXIT_OK = 0
+#: Exit status: verification found violations / mutants escaped.
+EXIT_VIOLATION = 1
+#: Exit status: usage, specification or input error.
+EXIT_ERROR = 2
 
-def _resolve_specs(name: str):
-    """Resolve a protocol argument, allowing the pseudo-name ``all``."""
-    if name == "all":
-        return all_protocols()
-    return [get_protocol(name)]
+_EXIT_STATUS_DOC = """\
+exit status:
+  0   success -- every requested check passed
+  1   verification found violations (or mutants escaped the verifier)
+  2   usage, specification or input error (unknown protocol, bad spec
+      file, malformed arguments, crashed/timed-out batch jobs)
+"""
 
 
 # ----------------------------------------------------------------------
@@ -64,15 +79,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print()
     print("mutations:", ", ".join(MUTATIONS))
     print("workloads:", ", ".join(WORKLOADS))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    status = 0
+    status = EXIT_OK
     if args.spec_file:
         specs = [load_protocol(args.spec_file)]
     else:
-        specs = _resolve_specs(args.protocol)
+        specs = resolve_specs(args.protocol)
     for spec in specs:
         if args.mutant:
             spec = get_mutant(spec, args.mutant)
@@ -103,23 +118,94 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 fh.write(result_to_json(report.result) + "\n")
             print(f"JSON result written to {args.json}")
         if not report.ok:
-            status = 1
+            status = EXIT_VIOLATION
     return status
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .engine import ResultCache, RunJournal, VerificationJob, run_batch
+
+    jobs: list[VerificationJob] = []
+    names: list[str] = []
+    for name in args.protocols:
+        if name == "all":
+            names.extend(protocol_names())
+        elif name == "none":  # spec-file-only batches
+            continue
+        else:
+            names.append(name)
+    for name in dict.fromkeys(names):  # dedupe, keep order
+        [spec] = resolve_specs(name)  # raises KeyError for unknown names
+        jobs.append(
+            VerificationJob(
+                protocol=name,
+                augmented=not args.structural,
+                validate_spec=True,
+            )
+        )
+        if args.mutants:
+            for mutant in mutants_for(spec):
+                jobs.append(
+                    VerificationJob(
+                        protocol=name,
+                        mutant=mutant.mutation.key,
+                        augmented=not args.structural,
+                    )
+                )
+    for path in args.spec_file:
+        jobs.append(VerificationJob(spec_file=path, augmented=not args.structural))
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    with RunJournal(args.journal) as journal:
+        report = run_batch(
+            jobs,
+            workers=args.jobs,
+            cache=cache,
+            journal=journal,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    print(report.summary_table())
+    print()
+    print(report.counts_line())
+    if args.journal:
+        print(f"journal written to {args.journal}")
+    return report.exit_code
+
+
 def _cmd_mutants(args: argparse.Namespace) -> int:
+    from .engine import ResultCache, VerificationJob, run_batch
+
+    jobs = []
+    for spec in resolve_specs(args.protocol):
+        for mutant in mutants_for(spec):
+            jobs.append(
+                VerificationJob(protocol=spec.name, mutant=mutant.mutation.key)
+            )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    report = run_batch(jobs, workers=args.jobs, cache=cache)
+
     rows = []
     escaped = 0
-    for spec in _resolve_specs(args.protocol):
-        for mutant in mutants_for(spec):
-            report = verify(mutant, validate_spec=False)
-            verdict = "KILLED" if not report.ok else "SURVIVED"
-            if report.ok:
-                escaped += 1
-            kinds = ",".join(sorted({v.kind.value for v in report.violations})) or "-"
-            rows.append(
-                [mutant.name, verdict, report.result.stats.visits, kinds]
-            )
+    errors = 0
+    for result in report.results:
+        if not result.completed:
+            errors += 1
+            rows.append([result.job.label, result.verdict, "-", result.error or "-"])
+            continue
+        payload = result.payload
+        assert payload is not None
+        if payload["verified"]:
+            escaped += 1
+        kinds = ",".join(sorted({v["kind"] for v in payload["violations"]})) or "-"
+        rows.append(
+            [
+                result.job.label,
+                "KILLED" if not payload["verified"] else "SURVIVED",
+                payload["stats"]["visits"],
+                kinds,
+            ]
+        )
     print(
         format_table(
             ["mutant", "verdict", "visits", "violation kinds"],
@@ -127,14 +213,17 @@ def _cmd_mutants(args: argparse.Namespace) -> int:
             title="Injected-bug detection by the symbolic verifier",
         )
     )
+    if errors:
+        print(f"\nERROR: {errors} mutant jobs did not complete")
+        return EXIT_ERROR
     if escaped:
         print(f"\nWARNING: {escaped} mutants escaped the verifier")
-        return 1
-    return 0
+        return EXIT_VIOLATION
+    return EXIT_OK
 
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
-    spec = get_protocol(args.protocol)
+    [spec] = resolve_specs(args.protocol)
     equivalence = Equivalence.COUNTING if args.counting else Equivalence.STRICT
     result = enumerate_space(spec, args.n, equivalence=equivalence)
     print(
@@ -145,21 +234,21 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     if args.show_states:
         for state in result.states:
             print("  ", state.pretty())
-    return 0 if result.ok else 1
+    return EXIT_OK if result.ok else EXIT_VIOLATION
 
 
 def _cmd_crossval(args: argparse.Namespace) -> int:
-    status = 0
-    for spec in _resolve_specs(args.protocol):
+    status = EXIT_OK
+    for spec in resolve_specs(args.protocol):
         result = cross_validate(spec, ns=tuple(range(1, args.max_n + 1)))
         print(result.summary())
         if not result.ok:
-            status = 1
+            status = EXIT_VIOLATION
     return status
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    spec = get_protocol(args.protocol)
+    [spec] = resolve_specs(args.protocol)
     if args.mutant:
         spec = get_mutant(spec, args.mutant)
     if args.trace_file:
@@ -179,21 +268,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(report.summary())
     for violation in report.violations[:5]:
         print("  ", violation)
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_VIOLATION
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    result_a = explore(get_protocol(args.a))
-    result_b = explore(get_protocol(args.b))
+    [spec_a] = resolve_specs(args.a)
+    [spec_b] = resolve_specs(args.b)
+    result_a = explore(spec_a)
+    result_b = explore(spec_b)
     print(compare_protocols(result_a, result_b).render())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweeps import sweep_table, traffic_sweep
 
     points = traffic_sweep(
-        _resolve_specs(args.protocol),
+        resolve_specs(args.protocol),
         [args.workload],
         args.processors,
         length=args.length,
@@ -201,12 +292,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     print(sweep_table(points, workload=args.workload))
-    return 0 if all(p.violations == 0 for p in points) else 1
+    return EXIT_OK if all(p.violations == 0 for p in points) else EXIT_VIOLATION
 
 
 def _cmd_fragility(args: argparse.Namespace) -> int:
-    for spec in _resolve_specs(args.protocol):
-        report = criticality_profile(spec, picks=args.picks)
+    for spec in resolve_specs(args.protocol):
+        report = criticality_profile(spec, picks=args.picks, jobs=args.jobs)
         print(
             format_table(
                 ["state", "op", "broken/judged", "fragility"],
@@ -219,15 +310,15 @@ def _cmd_fragility(args: argparse.Namespace) -> int:
             f"{report.survived} survived, {report.broken} broke coherence "
             f"({report.fragility:.0%} fragility)\n"
         )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_fsm(args: argparse.Namespace) -> int:
-    status = 0
-    for spec in _resolve_specs(args.protocol):
+    status = EXIT_OK
+    for spec in resolve_specs(args.protocol):
         problems = check_definition_1(spec)
         if problems:
-            status = 1
+            status = EXIT_VIOLATION
             print(f"{spec.name}: Definition 1 VIOLATED")
             for problem in problems:
                 print(f"  - {problem}")
@@ -243,6 +334,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Symbolic verification of cache coherence protocols "
         "(Pong & Dubois, SPAA 1993 reproduction)",
+        epilog=_EXIT_STATUS_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -268,8 +361,80 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", help="write the full result as JSON")
     p.add_argument("--quiet", action="store_true", help="one-line summaries only")
 
+    p = sub.add_parser(
+        "batch",
+        help="batch-verify many specs in parallel with caching + journal",
+        description="Verify many specifications through the batch engine: "
+        "a multiprocessing worker pool with per-job timeouts, bounded "
+        "retries and crash isolation, a persistent content-addressed "
+        "result cache keyed by spec fingerprint, and a structured JSONL "
+        "run journal.",
+    )
+    p.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["all"],
+        metavar="NAME",
+        help="protocol names, 'all', or 'none' for spec-file-only runs "
+        "(default: all)",
+    )
+    p.add_argument(
+        "--mutants",
+        action="store_true",
+        help="also verify every applicable injected-bug mutant",
+    )
+    p.add_argument(
+        "--spec-file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="additionally verify a DSL specification (repeatable)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process fallback)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache directory (default: ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.add_argument(
+        "--journal", metavar="FILE", help="write the JSONL run journal here"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        help="per-job wall-clock budget in seconds (forces worker processes)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retry budget for timed-out/crashed jobs (default: 1)",
+    )
+    p.add_argument("--structural", action="store_true", help="skip context variables")
+
     p = sub.add_parser("mutants", help="verify every injected-bug variant")
     p.add_argument("protocol", help="protocol name or 'all'")
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="reuse cached verdicts from this result-cache directory",
+    )
 
     p = sub.add_parser("enumerate", help="explicit Figure 2 state enumeration")
     p.add_argument("protocol")
@@ -305,6 +470,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("protocol", help="protocol name or 'all'")
     p.add_argument("--picks", type=int, default=2)
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the edit sweep (1 = serial)",
+    )
 
     p = sub.add_parser("sweep", help="traffic sweep across machine sizes")
     p.add_argument("protocol", help="protocol name or 'all'")
@@ -320,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "list": _cmd_list,
     "verify": _cmd_verify,
+    "batch": _cmd_batch,
     "mutants": _cmd_mutants,
     "enumerate": _cmd_enumerate,
     "crossval": _cmd_crossval,
@@ -332,9 +505,26 @@ _HANDLERS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    Usage, specification and input errors (unknown protocol names,
+    malformed spec files, unreadable traces) exit with status 2 so that
+    scripts can tell "the protocol is broken" (1) from "the invocation
+    is broken" (2).
+    """
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except (
+        KeyError,
+        ValueError,
+        OSError,
+        DslError,
+        ProtocolDefinitionError,
+    ) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro {args.command}: error: {message}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,14 +1,26 @@
-"""JSON serialization of verification results.
+"""JSON serialization of verification results and specifications.
 
 Makes expansion results consumable by external tooling (dashboards,
 regression trackers, graph viewers): states, transitions, statistics,
 violations and witnesses are rendered into plain JSON-compatible
 dictionaries.  The representation is stable and documented here; it is
 covered by round-trip tests for the state layer.
+
+Every emitted collection is deterministically ordered -- class pieces
+by label, transitions by (source, label, target), JSON keys sorted --
+so two runs of the same verification produce byte-identical payloads.
+The batch engine (:mod:`repro.engine`) relies on this: golden files,
+spec fingerprints and cache keys are all hashes of this output.
+
+:func:`spec_to_dict` additionally renders a *protocol specification*
+itself into a canonical behavioural table (every reaction over a
+deterministic sample of observation contexts), which is what
+:func:`repro.engine.fingerprint.spec_fingerprint` hashes.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 from typing import Any
 
@@ -16,18 +28,27 @@ from .composite import CompositeState, Label, make_state
 from .errors import Violation, Witness
 from .essential import ExpansionResult
 from .operators import Rep
-from .symbols import DataValue, SharingLevel
+from .protocol import ProtocolSpec
+from .reactions import Ctx, Outcome
+from .symbols import CountCase, DataValue, SharingLevel
 
 __all__ = [
     "state_to_dict",
     "state_from_dict",
     "result_to_dict",
     "result_to_json",
+    "outcome_to_dict",
+    "spec_to_dict",
 ]
 
 
 def state_to_dict(state: CompositeState) -> dict[str, Any]:
-    """Plain-dict form of a composite state (lossless)."""
+    """Plain-dict form of a composite state (lossless).
+
+    Class pieces are emitted sorted by ``(symbol, data)`` so the output
+    is stable regardless of how the state was constructed.
+    """
+    ordered = sorted(state.classes, key=lambda piece: piece[0].sort_key)
     return {
         "classes": [
             {
@@ -35,7 +56,7 @@ def state_to_dict(state: CompositeState) -> dict[str, Any]:
                 "data": label.data.value if label.data is not None else None,
                 "rep": rep.value,
             }
-            for label, rep in state.classes
+            for label, rep in ordered
         ],
         "sharing": state.sharing.value if state.sharing is not None else None,
         "mdata": state.mdata.value if state.mdata is not None else None,
@@ -84,17 +105,16 @@ def _witness_to_dict(witness: Witness) -> dict[str, Any]:
 
 
 def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
-    """Plain-dict form of a full verification result."""
+    """Plain-dict form of a full verification result.
+
+    Transitions are sorted by ``(source, label, target)`` so the
+    payload does not depend on worklist scheduling or dict insertion
+    order; repeated runs of the same verification are byte-identical
+    (modulo the wall-clock ``elapsed_seconds`` stat).
+    """
     index = {state: i for i, state in enumerate(result.essential)}
-    return {
-        "protocol": result.spec.name,
-        "full_name": result.spec.full_name,
-        "augmented": result.augmented,
-        "pruning": result.pruning.value,
-        "verified": result.ok,
-        "initial": index.get(result.initial),
-        "essential_states": [state_to_dict(s) for s in result.essential],
-        "transitions": [
+    transitions = sorted(
+        (
             {
                 "source": index[t.source],
                 "label": str(t.label),
@@ -103,7 +123,18 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
                 "target": index[t.target],
             }
             for t in result.transitions
-        ],
+        ),
+        key=lambda t: (t["source"], t["label"], t["target"]),
+    )
+    return {
+        "protocol": result.spec.name,
+        "full_name": result.spec.full_name,
+        "augmented": result.augmented,
+        "pruning": result.pruning.value,
+        "verified": result.ok,
+        "initial": index.get(result.initial),
+        "essential_states": [state_to_dict(s) for s in result.essential],
+        "transitions": transitions,
         "stats": {
             "visits": result.stats.visits,
             "expanded": result.stats.expanded,
@@ -119,5 +150,104 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
 
 
 def result_to_json(result: ExpansionResult, *, indent: int = 2) -> str:
-    """JSON text form of a full verification result."""
-    return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)
+    """JSON text form of a full verification result (sorted keys)."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Specification serialization (the fingerprint substrate)
+# ----------------------------------------------------------------------
+def outcome_to_dict(outcome: Outcome) -> dict[str, Any]:
+    """Plain-dict form of one protocol reaction outcome.
+
+    Observer reactions are emitted sorted by observer state so the
+    representation is canonical.
+    """
+    return {
+        "next": outcome.next_state,
+        "stalled": outcome.stalled,
+        "load": str(outcome.load_from) if outcome.load_from is not None else None,
+        "observers": [
+            {"state": state, "next": reaction.next_state, "updated": reaction.updated}
+            for state, reaction in sorted(outcome.observers.items())
+        ],
+        "writeback": outcome.writeback_from,
+        "write_through": outcome.write_through,
+    }
+
+
+def _sample_contexts(valid: tuple[str, ...]) -> list[Ctx]:
+    """Deterministic sample of observation contexts for *valid* states.
+
+    The empty context, every singleton with ONE and MANY copies, and
+    every two- and three-state combination with MANY copies -- a strict
+    superset of what :meth:`ProtocolSpec.validate` exercises, covering
+    every context shape the symbolic expander can construct for the
+    shipped protocol zoo.
+    """
+    ordered = sorted(valid)
+    contexts = [Ctx(frozenset(), CountCase.ZERO)]
+    for sym in ordered:
+        contexts.append(Ctx(frozenset({sym}), CountCase.ONE))
+        contexts.append(Ctx(frozenset({sym}), CountCase.MANY))
+    for size in (2, 3):
+        for combo in itertools.combinations(ordered, size):
+            contexts.append(Ctx(frozenset(combo), CountCase.MANY))
+    return contexts
+
+
+def spec_to_dict(spec: ProtocolSpec) -> dict[str, Any]:
+    """Canonical behavioural rendering of a protocol specification.
+
+    Tabulates :meth:`ProtocolSpec.react` over every state, operation
+    and sampled context in a deterministic order, alongside the
+    structural attributes (states, error patterns, characteristic
+    function).  Two specifications with the same rendering behave
+    identically on every scenario the verifier can pose, which is what
+    makes the rendering a sound substrate for content-addressed result
+    caching (see :mod:`repro.engine.fingerprint`).
+
+    A reaction that raises is recorded (exception type name) rather
+    than propagated, so even pathological specifications fingerprint
+    deterministically.
+    """
+    reactions: list[dict[str, Any]] = []
+    contexts = _sample_contexts(spec.valid_states())
+    for state in spec.states:
+        for op in spec.operations:
+            if not spec.applicable(state, op):
+                reactions.append(
+                    {"state": state, "op": op.value, "applicable": False}
+                )
+                continue
+            for ctx in contexts:
+                try:
+                    entry: dict[str, Any] = {
+                        "outcome": outcome_to_dict(spec.react(state, op, ctx))
+                    }
+                except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                    entry = {"raises": type(exc).__name__}
+                reactions.append(
+                    {
+                        "state": state,
+                        "op": op.value,
+                        "ctx": {
+                            "present": sorted(ctx.present),
+                            "copies": ctx.copies.value,
+                        },
+                        **entry,
+                    }
+                )
+    return {
+        "name": spec.name,
+        "full_name": spec.full_name,
+        "states": list(spec.states),
+        "invalid": spec.invalid,
+        "sharing_detection": spec.uses_sharing_detection,
+        "operations": [op.value for op in spec.operations],
+        "error_patterns": [pattern.describe() for pattern in spec.error_patterns],
+        "owner_states": list(spec.owner_states),
+        "exclusive_states": list(spec.exclusive_states),
+        "shared_fill_state": spec.shared_fill_state,
+        "reactions": reactions,
+    }

@@ -1,0 +1,53 @@
+"""repro.engine -- parallel batch verification with caching and journaling.
+
+The paper's headline claim is that symbolic expansion makes protocol
+verification cheap enough to run *routinely* over whole families of
+protocols.  This subsystem owns that workflow: it turns "verify many
+specifications" from a for-loop in a script into a serving-shaped
+engine with
+
+* a picklable job model (:class:`VerificationJob`) and canonical spec
+  fingerprints (:func:`spec_fingerprint`),
+* a crash-isolated multiprocessing pool with per-job timeouts and
+  bounded retries (:class:`ParallelRunner`, serial fallback included),
+* a persistent content-addressed result cache (:class:`ResultCache`)
+  so re-running a zoo or mutant sweep only verifies changed specs, and
+* a structured JSONL run journal (:class:`RunJournal`) with an
+  end-of-run summary table.
+
+Quickstart::
+
+    from repro.engine import VerificationJob, ResultCache, run_batch
+
+    jobs = [VerificationJob(protocol=name) for name in ("msi", "illinois")]
+    report = run_batch(jobs, workers=4, cache=ResultCache())
+    print(report.summary_table())
+
+The CLI front end is ``repro batch`` (see ``repro batch --help``), and
+``repro mutants`` / the fragility sweep run on the same engine.
+"""
+
+from .batch import BatchReport, run_batch
+from .cache import ResultCache, default_cache_dir
+from .fingerprint import ENGINE_VERSION, job_key, spec_fingerprint
+from .job import JobResult, JobStatus, VerificationJob, execute_job
+from .journal import RunJournal
+from .runner import ParallelRunner, SerialRunner, make_runner
+
+__all__ = [
+    "ENGINE_VERSION",
+    "BatchReport",
+    "JobResult",
+    "JobStatus",
+    "ParallelRunner",
+    "ResultCache",
+    "RunJournal",
+    "SerialRunner",
+    "VerificationJob",
+    "default_cache_dir",
+    "execute_job",
+    "job_key",
+    "make_runner",
+    "run_batch",
+    "spec_fingerprint",
+]

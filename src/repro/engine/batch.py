@@ -1,0 +1,228 @@
+"""Batch orchestration: verify many specifications fast and reproducibly.
+
+:func:`run_batch` is the engine's front door.  It fingerprints every
+job's specification, replays cached results where possible, runs the
+remainder through a serial or parallel runner, journals every event
+and persists fresh results back into the cache:
+
+    jobs ──fingerprint──► cache? ──hit──────────────► results
+                             │
+                            miss ──runner (N procs)──► results ──► cache
+
+The returned :class:`BatchReport` keeps results in input-job order (so
+serial and parallel runs compare equal), knows the CLI exit status and
+renders the end-of-run summary table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..analysis.reporting import batch_summary_table
+from .cache import ResultCache
+from .fingerprint import ENGINE_VERSION, spec_fingerprint
+from .job import JobResult, JobStatus, VerificationJob
+from .journal import RunJournal
+from .runner import ParallelRunner, SerialRunner, make_runner
+
+__all__ = ["BatchReport", "run_batch"]
+
+
+@dataclass
+class BatchReport:
+    """Everything produced by one :func:`run_batch` call."""
+
+    results: list[JobResult]
+    wall: float
+    journal: RunJournal = field(default_factory=RunJournal)
+
+    # ------------------------------------------------------------------
+    @property
+    def verified(self) -> int:
+        """Jobs whose specification verified cleanly."""
+        return sum(1 for r in self.results if r.status == JobStatus.VERIFIED)
+
+    @property
+    def violations(self) -> int:
+        """Jobs whose verification found coherence violations."""
+        return sum(1 for r in self.results if r.status == JobStatus.VIOLATION)
+
+    @property
+    def errors(self) -> int:
+        """Jobs that errored, timed out or crashed."""
+        return sum(1 for r in self.results if not r.completed)
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs replayed from the persistent cache."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every job completed and verified."""
+        return self.verified == len(self.results)
+
+    @property
+    def exit_code(self) -> int:
+        """CLI exit status: 0 ok, 1 violations found, 2 job errors."""
+        if self.errors:
+            return 2
+        if self.violations:
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[list[str]]:
+        """Summary-table rows, one per job in input order."""
+        rows = []
+        for result in self.results:
+            payload = result.payload
+            rows.append(
+                [
+                    result.job.label,
+                    result.verdict,
+                    str(len(payload["essential_states"])) if payload else "-",
+                    str(payload["stats"]["visits"]) if payload else "-",
+                    f"{result.elapsed * 1000:.0f} ms",
+                    "cache" if result.cached else "run",
+                ]
+            )
+        return rows
+
+    def summary_table(self) -> str:
+        """The end-of-run summary table."""
+        return batch_summary_table(self.rows())
+
+    def counts_line(self) -> str:
+        """One-line roll-up printed under the summary table."""
+        return (
+            f"{len(self.results)} jobs: {self.verified} verified, "
+            f"{self.violations} with violations, {self.errors} errors; "
+            f"{self.cache_hits} cache hits; wall {self.wall:.2f}s"
+        )
+
+
+def run_batch(
+    jobs: Sequence[VerificationJob],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    journal: RunJournal | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    runner: SerialRunner | ParallelRunner | None = None,
+) -> BatchReport:
+    """Verify every job, reusing cached results and journaling the run.
+
+    Parameters
+    ----------
+    jobs:
+        The work list; results come back in the same order.
+    workers:
+        Worker processes.  ``1`` (with no ``timeout``) runs serially in
+        this process.
+    cache:
+        Persistent result cache; ``None`` disables caching entirely.
+    journal:
+        Event sink; a fresh in-memory journal is created when omitted.
+    timeout / retries:
+        Per-job wall-clock budget and retry bound for timed-out or
+        crashed jobs (timeouts need ``workers >= 1`` processes, see
+        :class:`~repro.engine.runner.SerialRunner`).
+    runner:
+        Explicit runner instance (overrides ``workers``/``timeout``/
+        ``retries``); used by tests to compare execution strategies.
+    """
+    jobs = list(jobs)
+    if journal is None:
+        journal = RunJournal()
+    started = time.perf_counter()
+    journal.emit(
+        "run_start",
+        jobs=len(jobs),
+        workers=workers,
+        engine=ENGINE_VERSION,
+        cache_dir=str(cache.root) if cache is not None else None,
+        journal=str(journal.path) if journal.path is not None else None,
+    )
+
+    results: list[JobResult | None] = [None] * len(jobs)
+    fingerprints: dict[int, str] = {}
+    to_run: list[int] = []
+
+    for i, job in enumerate(jobs):
+        try:
+            fingerprint = spec_fingerprint(job.resolve_spec())
+        except Exception as exc:  # noqa: BLE001 - spec errors are data here
+            error = f"{type(exc).__name__}: {exc}"
+            results[i] = JobResult(job, JobStatus.ERROR, error=error)
+            journal.emit("job_start", job=job.label, fingerprint=None)
+            _finish(journal, results[i])
+            continue
+        journal.emit("job_start", job=job.label, fingerprint=fingerprint)
+        fingerprints[i] = fingerprint
+        if cache is not None:
+            hit = cache.get(fingerprint, job)
+            if hit is not None:
+                results[i] = hit
+                journal.emit(
+                    "cache_hit",
+                    job=job.label,
+                    key=cache.key_for(fingerprint, job),
+                )
+                _finish(journal, hit)
+                continue
+        to_run.append(i)
+
+    if to_run:
+        if runner is None:
+            runner = make_runner(workers=workers, timeout=timeout, retries=retries)
+        fresh = runner.run(
+            [jobs[i] for i in to_run],
+            on_event=lambda event, fields: journal.emit(event, **fields),
+        )
+        for i, result in zip(to_run, fresh):
+            result.fingerprint = fingerprints[i]
+            results[i] = result
+            _finish(journal, result)
+            if cache is not None:
+                cache.put(fingerprints[i], jobs[i], result)
+
+    final = [r for r in results if r is not None]
+    assert len(final) == len(jobs)
+    wall = time.perf_counter() - started
+    report = BatchReport(results=final, wall=wall, journal=journal)
+    journal.emit(
+        "run_end",
+        jobs=len(jobs),
+        verified=report.verified,
+        violations=report.violations,
+        errors=report.errors,
+        cache_hits=report.cache_hits,
+        wall=round(wall, 4),
+    )
+    return report
+
+
+def _finish(journal: RunJournal, result: JobResult) -> None:
+    """Emit the per-job completion record."""
+    stats: dict[str, Any] = (
+        result.payload.get("stats", {}) if result.payload else {}
+    )
+    journal.emit(
+        "job_finish",
+        job=result.job.label,
+        status=result.status,
+        ok=result.ok,
+        cached=result.cached,
+        attempts=result.attempts,
+        elapsed=round(result.elapsed, 6),
+        visits=stats.get("visits"),
+        expanded=stats.get("expanded"),
+        essential=(
+            len(result.payload["essential_states"]) if result.payload else None
+        ),
+        error=result.error,
+    )

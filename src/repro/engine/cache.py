@@ -1,0 +1,116 @@
+"""Persistent, content-addressed verification result cache.
+
+Layout (one JSON file per entry, sharded by key prefix)::
+
+    <root>/v<ENGINE_VERSION>/<key[:2]>/<key>.json
+
+where ``key`` is :func:`repro.engine.fingerprint.job_key` -- a hash of
+the spec fingerprint, the verification options and the engine version.
+Re-running a zoo or mutant sweep therefore only verifies specs whose
+*behaviour* changed; renames, reorderings and unrelated refactors all
+hit the cache.
+
+Entries are written atomically (temp file + ``os.replace``) so a
+killed run never leaves a torn entry; unreadable or mismatched entries
+are treated as misses and rewritten.  The default root is
+``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from .fingerprint import ENGINE_VERSION, job_key
+from .job import JobResult, JobStatus, VerificationJob
+
+__all__ = ["default_cache_dir", "ResultCache"]
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when none is given explicitly."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path("~/.cache").expanduser()
+    return base / "repro"
+
+
+class ResultCache:
+    """Content-addressed store of completed verification results."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, fingerprint: str, job: VerificationJob) -> str:
+        """The content address of *job*'s result."""
+        return job_key(fingerprint, job)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"v{ENGINE_VERSION}" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str, job: VerificationJob) -> JobResult | None:
+        """Replay *job*'s result from the cache, or ``None`` on a miss.
+
+        A corrupted or shape-mismatched entry counts as a miss (it will
+        be overwritten by the fresh result).
+        """
+        key = self.key_for(fingerprint, job)
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            status = record["status"]
+            payload = record["payload"]
+            if status not in JobStatus.COMPLETED or not isinstance(payload, dict):
+                raise ValueError("malformed cache entry")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return JobResult(
+            job,
+            status,
+            payload=payload,
+            elapsed=float(record.get("elapsed", 0.0)),
+            cached=True,
+            fingerprint=fingerprint,
+        )
+
+    def put(self, fingerprint: str, job: VerificationJob, result: JobResult) -> None:
+        """Store a completed result (no-op for errors/timeouts/crashes)."""
+        if not result.completed or result.payload is None:
+            return
+        key = self.key_for(fingerprint, job)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record: dict[str, Any] = {
+            "key": key,
+            "engine": ENGINE_VERSION,
+            "fingerprint": fingerprint,
+            "job": job.to_meta(),
+            "status": result.status,
+            "elapsed": result.elapsed,
+            "payload": result.payload,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

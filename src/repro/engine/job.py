@@ -1,0 +1,203 @@
+"""Verification jobs: the unit of work of the batch engine.
+
+A :class:`VerificationJob` is a small, picklable description of "verify
+this specification with these options".  The specification itself is
+named indirectly whenever possible (registry name + optional mutation
+key, or a DSL spec file path) so that jobs cross process boundaries as
+a few strings; ad-hoc specifications (e.g. the perturbation sweep's
+single-point edits) can be embedded directly as ``spec``.
+
+:func:`execute_job` is the single execution path used by every runner
+-- serial or parallel, fresh or replayed from cache they all produce
+the same :class:`JobResult` shape, whose ``payload`` is exactly
+:func:`repro.core.serialize.result_to_dict` of the verification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.essential import PruningMode
+from ..core.protocol import ProtocolSpec
+from ..core.serialize import result_to_dict
+from ..core.verifier import verify
+
+__all__ = [
+    "JobStatus",
+    "VerificationJob",
+    "JobResult",
+    "execute_job",
+]
+
+
+class JobStatus:
+    """Terminal status of one job (plain strings, JSON-friendly)."""
+
+    VERIFIED = "verified"
+    VIOLATION = "violation"
+    ERROR = "error"
+    TIMEOUT = "timeout"
+    CRASH = "crash"
+
+    #: Statuses for which a verification actually completed and
+    #: produced a payload.
+    COMPLETED = (VERIFIED, VIOLATION)
+
+
+@dataclass(frozen=True)
+class VerificationJob:
+    """One unit of batch-verification work.
+
+    Exactly one spec source must be given: ``protocol`` (registry
+    name), ``spec_file`` (DSL path) or ``spec`` (an in-memory
+    specification).  ``mutant`` optionally applies a named mutation to
+    the resolved specification.
+    """
+
+    protocol: str | None = None
+    mutant: str | None = None
+    spec_file: str | None = None
+    spec: ProtocolSpec | None = field(default=None, compare=False)
+    augmented: bool = True
+    pruning: str = PruningMode.CONTAINMENT.value
+    max_visits: int = 1_000_000
+    validate_spec: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        sources = [
+            s for s in (self.protocol, self.spec_file, self.spec) if s is not None
+        ]
+        if len(sources) != 1:
+            raise ValueError(
+                "a VerificationJob needs exactly one of protocol / "
+                "spec_file / spec"
+            )
+        if not self.label:
+            object.__setattr__(self, "label", self._default_label())
+
+    def _default_label(self) -> str:
+        if self.protocol is not None:
+            base = self.protocol
+        elif self.spec_file is not None:
+            base = Path(self.spec_file).stem
+        else:
+            assert self.spec is not None
+            base = self.spec.name
+        return f"{base}+{self.mutant}" if self.mutant else base
+
+    # ------------------------------------------------------------------
+    def resolve_spec(self) -> ProtocolSpec:
+        """Instantiate the protocol this job verifies.
+
+        Raises ``KeyError`` (unknown protocol/mutation), ``OSError`` or
+        ``DslError`` (bad spec file) -- callers map these to the
+        usage-error exit status.
+        """
+        if self.spec is not None:
+            spec = self.spec
+        elif self.spec_file is not None:
+            from ..protocols.dsl import load_protocol
+
+            spec = load_protocol(self.spec_file)
+        else:
+            from ..protocols.registry import get_protocol
+
+            assert self.protocol is not None
+            spec = get_protocol(self.protocol)
+        if self.mutant is not None:
+            from ..protocols.mutations import get_mutant
+
+            spec = get_mutant(spec, self.mutant)
+        return spec
+
+    def to_meta(self) -> dict[str, Any]:
+        """JSON-able description of the job (for cache/journal records)."""
+        return {
+            "label": self.label,
+            "protocol": self.protocol,
+            "mutant": self.mutant,
+            "spec_file": self.spec_file,
+            "inline_spec": self.spec.name if self.spec is not None else None,
+            "augmented": self.augmented,
+            "pruning": self.pruning,
+            "max_visits": self.max_visits,
+            "validate_spec": self.validate_spec,
+        }
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, however it was obtained.
+
+    ``payload`` is the :func:`result_to_dict` rendering of the
+    verification (present iff the verification completed); ``cached``
+    marks results replayed from the persistent cache.
+    """
+
+    job: VerificationJob
+    status: str
+    payload: dict[str, Any] | None = None
+    error: str | None = None
+    attempts: int = 1
+    elapsed: float = 0.0
+    cached: bool = False
+    fingerprint: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        """True iff a verification ran to completion (either verdict)."""
+        return self.status in JobStatus.COMPLETED
+
+    @property
+    def ok(self) -> bool:
+        """True iff the specification verified cleanly."""
+        return self.status == JobStatus.VERIFIED
+
+    @property
+    def verdict(self) -> str:
+        """Display verdict for summary tables."""
+        return {
+            JobStatus.VERIFIED: "VERIFIED",
+            JobStatus.VIOLATION: "FAILED",
+            JobStatus.ERROR: "ERROR",
+            JobStatus.TIMEOUT: "TIMEOUT",
+            JobStatus.CRASH: "CRASH",
+        }[self.status]
+
+
+def execute_job(job: VerificationJob) -> JobResult:
+    """Run one job to completion in the current process.
+
+    Never raises: resolution or verification failures are folded into
+    an ``error``-status result so one bad specification cannot abort a
+    sweep (the parallel runner additionally guards against crashes and
+    hangs at the process level).
+    """
+    started = time.perf_counter()
+    try:
+        spec = job.resolve_spec()
+        report = verify(
+            spec,
+            augmented=job.augmented,
+            pruning=PruningMode(job.pruning),
+            max_visits=job.max_visits,
+            validate_spec=job.validate_spec,
+        )
+        status = JobStatus.VERIFIED if report.ok else JobStatus.VIOLATION
+        return JobResult(
+            job,
+            status,
+            payload=result_to_dict(report.result),
+            elapsed=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return JobResult(
+            job,
+            JobStatus.ERROR,
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed=time.perf_counter() - started,
+        )

@@ -1,0 +1,79 @@
+"""Structured run journal: one JSON object per engine event.
+
+Every batch run appends line-delimited JSON events -- run start/end,
+job admission, cache hits, retries, timeouts, crashes and per-job
+finish records (visits, states expanded, essential-state count, wall
+time) -- to an in-memory list and, when a path is given, to a JSONL
+file.  The journal is the engine's audit trail: the warm-cache
+acceptance check ("zero re-verifications") is literally a count of
+``cache_hit`` versus ``job_finish`` events.
+
+Event vocabulary (all events carry ``t``, a Unix timestamp):
+
+========== =================================================================
+event      extra fields
+========== =================================================================
+run_start  jobs, workers, engine, cache_dir, journal
+job_start  job, fingerprint
+cache_hit  job, key
+job_retry  job, attempt, reason
+job_timeout job, attempt, timeout
+job_crash  job, attempt, exitcode
+job_finish job, status, ok, cached, attempts, elapsed, visits, expanded,
+           essential, error
+run_end    jobs, verified, violations, errors, cache_hits, wall
+========== =================================================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["RunJournal"]
+
+
+class RunJournal:
+    """Collect (and optionally persist) the event stream of one run."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict[str, Any]] = []
+        self._fh: IO[str] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Record one event (and flush it to the JSONL file, if any)."""
+        record: dict[str, Any] = {"t": round(time.time(), 3), "event": event}
+        record.update(fields)
+        self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        return record
+
+    def count(self, event: str) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for record in self.events if record["event"] == event)
+
+    def of(self, event: str) -> list[dict[str, Any]]:
+        """All recorded events of one kind, in order."""
+        return [record for record in self.events if record["event"] == event]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the backing file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,282 @@
+"""Job runners: serial in-process execution and a crash-isolated pool.
+
+:class:`SerialRunner` executes jobs one after another in the calling
+process -- the zero-dependency fallback, and the fastest option for
+small sweeps on small machines.
+
+:class:`ParallelRunner` maintains a pool of persistent worker
+processes, each connected to the parent by its own duplex pipe.  Jobs
+are dispatched one at a time to idle workers; the parent multiplexes
+completions with :func:`multiprocessing.connection.wait` and enforces
+a per-job wall-clock timeout by terminating the worker and respawning
+a fresh one.  A worker that dies mid-job (segfault, ``os._exit``,
+OOM-kill) is likewise detected through its closed pipe, so one
+pathological specification can never take down a sweep.  Timed-out and
+crashed jobs are retried a bounded number of times before being
+reported as ``timeout``/``crash`` results; deterministic in-job
+exceptions are *not* retried (they are folded into ``error`` results
+by :func:`~repro.engine.job.execute_job` inside the worker).
+
+Results are always returned in input order, so serial and parallel
+execution of the same job list are interchangeable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import Connection, wait as _connection_wait
+from typing import Any, Callable, Sequence
+
+from .job import JobResult, JobStatus, VerificationJob, execute_job
+
+__all__ = ["SerialRunner", "ParallelRunner", "make_runner"]
+
+#: Signature of the optional event sink (job_retry / job_timeout /
+#: job_crash notifications, forwarded to the run journal by the batch
+#: orchestrator).
+EventSink = Callable[[str, dict[str, Any]], None]
+
+#: How long the parent blocks waiting for completions before checking
+#: deadlines again (seconds).
+_TICK = 0.05
+
+
+class SerialRunner:
+    """Execute jobs sequentially in the calling process.
+
+    Per-job timeouts cannot be enforced without process isolation, so
+    ``timeout`` is accepted for interface parity but ignored; use
+    :class:`ParallelRunner` (even with one worker) when runaway
+    specifications are a concern.
+    """
+
+    def __init__(
+        self, *, timeout: float | None = None, retries: int = 0
+    ) -> None:
+        self.timeout = timeout
+        self.retries = retries
+
+    def run(
+        self,
+        jobs: Sequence[VerificationJob],
+        on_event: EventSink | None = None,
+    ) -> list[JobResult]:
+        """Run every job; results are in input order."""
+        return [execute_job(job) for job in jobs]
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive ``(token, job)``, send ``(token, result)``."""
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            conn.close()
+            return
+        token, job = task
+        result = execute_job(job)
+        try:
+            conn.send((token, result))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Slot:
+    """One worker process and its dispatch state."""
+
+    __slots__ = ("proc", "conn", "token", "index", "attempt", "started")
+
+    def __init__(self, proc: multiprocessing.process.BaseProcess, conn: Connection):
+        self.proc = proc
+        self.conn = conn
+        self.token: int | None = None  # None <=> idle
+        self.index = -1
+        self.attempt = 0
+        self.started = 0.0
+
+
+class ParallelRunner:
+    """Crash-isolated multiprocessing worker pool with per-job timeouts."""
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        start_method: str | None = None,
+    ) -> None:
+        import os
+
+        self.workers = max(1, int(workers or (os.cpu_count() or 1)))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Slot:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # the parent keeps only its end
+        return _Slot(proc, parent_conn)
+
+    def _retire(self, slot: _Slot) -> None:
+        """Forcefully tear down a worker (timeout or crash path)."""
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.proc.is_alive():
+            slot.proc.terminate()
+        slot.proc.join(1.0)
+        if slot.proc.is_alive():  # pragma: no cover - stubborn process
+            slot.proc.kill()
+            slot.proc.join(1.0)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[VerificationJob],
+        on_event: EventSink | None = None,
+    ) -> list[JobResult]:
+        """Run every job across the pool; results are in input order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+
+        def emit(event: str, **fields: Any) -> None:
+            if on_event is not None:
+                on_event(event, fields)
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: deque[tuple[int, int]] = deque(
+            (i, 1) for i in range(len(jobs))
+        )  # (job index, attempt number)
+        tokens = itertools.count()
+        slots = [self._spawn() for _ in range(min(self.workers, len(jobs)))]
+
+        def fail_or_retry(slot: _Slot, status: str, error: str) -> None:
+            """Requeue the job or finalize it after a timeout/crash."""
+            reason = "timeout" if status == JobStatus.TIMEOUT else "crash"
+            if slot.attempt <= self.retries:
+                emit(
+                    "job_retry",
+                    job=jobs[slot.index].label,
+                    attempt=slot.attempt,
+                    reason=reason,
+                )
+                pending.append((slot.index, slot.attempt + 1))
+            else:
+                results[slot.index] = JobResult(
+                    jobs[slot.index],
+                    status,
+                    error=error,
+                    attempts=slot.attempt,
+                    elapsed=time.monotonic() - slot.started,
+                )
+            self._retire(slot)
+            slots[slots.index(slot)] = self._spawn()
+
+        try:
+            while pending or any(s.token is not None for s in slots):
+                for slot in list(slots):
+                    if slot.token is None and pending:
+                        index, attempt = pending.popleft()
+                        slot.token = next(tokens)
+                        slot.index = index
+                        slot.attempt = attempt
+                        slot.started = time.monotonic()
+                        try:
+                            slot.conn.send((slot.token, jobs[index]))
+                        except (BrokenPipeError, OSError):
+                            # The worker died between jobs; replace it and
+                            # put the task back without burning an attempt.
+                            pending.appendleft((index, attempt))
+                            slot.token = None
+                            self._retire(slot)
+                            slots[slots.index(slot)] = self._spawn()
+
+                busy = [s for s in slots if s.token is not None]
+                for conn in _connection_wait(
+                    [s.conn for s in busy], timeout=_TICK
+                ):
+                    slot = next(s for s in busy if s.conn is conn)
+                    try:
+                        token, result = conn.recv()
+                    except (EOFError, OSError):
+                        exitcode = slot.proc.exitcode
+                        emit(
+                            "job_crash",
+                            job=jobs[slot.index].label,
+                            attempt=slot.attempt,
+                            exitcode=exitcode,
+                        )
+                        fail_or_retry(
+                            slot,
+                            JobStatus.CRASH,
+                            f"worker died (exit code {exitcode})",
+                        )
+                        continue
+                    if token != slot.token:  # pragma: no cover - stale echo
+                        continue
+                    result.attempts = slot.attempt
+                    results[slot.index] = result
+                    slot.token = None
+
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for slot in list(slots):
+                        if (
+                            slot.token is not None
+                            and now - slot.started > self.timeout
+                        ):
+                            emit(
+                                "job_timeout",
+                                job=jobs[slot.index].label,
+                                attempt=slot.attempt,
+                                timeout=self.timeout,
+                            )
+                            fail_or_retry(
+                                slot,
+                                JobStatus.TIMEOUT,
+                                f"exceeded {self.timeout:g}s wall-clock budget",
+                            )
+        finally:
+            for slot in slots:
+                try:
+                    slot.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                slot.proc.join(0.5)
+                self._retire(slot)
+
+        assert all(r is not None for r in results)
+        return [r for r in results if r is not None]
+
+
+def make_runner(
+    *,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+) -> SerialRunner | ParallelRunner:
+    """The right runner for the requested parallelism.
+
+    One worker and no timeout stays in-process (serial fallback); more
+    workers -- or any timeout, which needs process isolation to be
+    enforceable -- builds a :class:`ParallelRunner`.
+    """
+    if workers <= 1 and timeout is None:
+        return SerialRunner(retries=retries)
+    return ParallelRunner(workers=workers, timeout=timeout, retries=retries)

@@ -185,19 +185,46 @@ class CriticalityReport:
         return rows
 
 
+def _record_verdict(
+    report: CriticalityReport,
+    perturbation: Perturbation,
+    ok: bool,
+    kinds: set[str],
+) -> None:
+    """Fold one judged perturbation into the aggregate report."""
+    site = (perturbation.trigger_state, perturbation.trigger_op.value)
+    broken_at_site, judged_at_site = report.by_site.get(site, (0, 0))
+    if ok:
+        report.survived += 1
+        report.by_site[site] = (broken_at_site, judged_at_site + 1)
+    else:
+        report.broken += 1
+        report.by_site[site] = (broken_at_site + 1, judged_at_site + 1)
+        for kind in kinds:
+            report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+
+
 def criticality_profile(
     spec: ProtocolSpec,
     *,
     picks: int = 3,
     max_visits: int = 60_000,
+    jobs: int = 1,
 ) -> CriticalityReport:
     """Verify every systematic perturbation of *spec* and aggregate.
 
-    Ill-formed edits (those the specification validator rejects) are
-    excluded from the fragility ratio: they could never be implemented,
-    so they say nothing about the protocol's robustness.
+    Ill-formed edits (those the specification validator rejects, or
+    whose expansion diverges past ``max_visits``) are excluded from the
+    fragility ratio: they could never be implemented, so they say
+    nothing about the protocol's robustness.
+
+    ``jobs > 1`` distributes the sweep over the batch engine's worker
+    pool (:mod:`repro.engine`); perturbed candidates are plain
+    picklable specifications, and verdicts are aggregated in
+    deterministic perturbation order either way.
     """
     report = CriticalityReport(protocol=spec.name)
+    candidates: list[tuple[Perturbation, PerturbedProtocol]] = []
     for perturbation in all_perturbations(spec, picks=picks):
         report.attempted += 1
         candidate = PerturbedProtocol(spec, perturbation)
@@ -206,19 +233,45 @@ def criticality_profile(
         except ProtocolDefinitionError:
             report.ill_formed += 1
             continue
+        candidates.append((perturbation, candidate))
+
+    if jobs > 1:
+        # Imported lazily: the engine package sits above the protocol
+        # layer and pulling it in eagerly would be cyclic.
+        from ..engine import VerificationJob, run_batch
+
+        batch = run_batch(
+            [
+                VerificationJob(
+                    spec=candidate,
+                    max_visits=max_visits,
+                    label=f"{candidate.name}#{i}",
+                )
+                for i, (_, candidate) in enumerate(candidates)
+            ],
+            workers=jobs,
+        )
+        for (perturbation, _), result in zip(candidates, batch.results):
+            if not result.completed:
+                report.ill_formed += 1
+                continue
+            assert result.payload is not None
+            kinds = {v["kind"] for v in result.payload["violations"]}
+            _record_verdict(
+                report, perturbation, result.payload["verified"], kinds
+            )
+        return report
+
+    for perturbation, candidate in candidates:
         try:
             result = explore(candidate, max_visits=max_visits)
         except ExpansionLimitError:
             report.ill_formed += 1
             continue
-        site = (perturbation.trigger_state, perturbation.trigger_op.value)
-        broken_at_site, judged_at_site = report.by_site.get(site, (0, 0))
-        if result.ok:
-            report.survived += 1
-            report.by_site[site] = (broken_at_site, judged_at_site + 1)
-        else:
-            report.broken += 1
-            report.by_site[site] = (broken_at_site + 1, judged_at_site + 1)
-            for kind in {v.kind for v in result.violations}:
-                report.by_kind[kind.value] = report.by_kind.get(kind.value, 0) + 1
+        _record_verdict(
+            report,
+            perturbation,
+            result.ok,
+            {v.kind.value for v in result.violations},
+        )
     return report

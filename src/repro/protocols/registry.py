@@ -22,7 +22,13 @@ from .msi import MsiProtocol
 from .synapse import SynapseProtocol
 from .write_once import WriteOnceProtocol
 
-__all__ = ["PROTOCOLS", "get_protocol", "all_protocols", "protocol_names"]
+__all__ = [
+    "PROTOCOLS",
+    "get_protocol",
+    "all_protocols",
+    "protocol_names",
+    "resolve_specs",
+]
 
 #: Factories for every shipped protocol, keyed by short name.
 PROTOCOLS: dict[str, Callable[[], ProtocolSpec]] = {
@@ -60,3 +66,15 @@ def get_protocol(name: str) -> ProtocolSpec:
 def all_protocols() -> list[ProtocolSpec]:
     """One instance of every shipped protocol, in registry order."""
     return [factory() for factory in PROTOCOLS.values()]
+
+
+def resolve_specs(name: str) -> list[ProtocolSpec]:
+    """Resolve a protocol argument, allowing the pseudo-name ``all``.
+
+    The shared front end of the CLI and the batch engine: ``"all"``
+    expands to the whole zoo in registry order, anything else must be a
+    registered name (``KeyError`` otherwise).
+    """
+    if name == "all":
+        return all_protocols()
+    return [get_protocol(name)]

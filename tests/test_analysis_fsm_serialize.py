@@ -141,6 +141,53 @@ class TestResultSerialization:
             json.loads(result_to_json(result))
 
 
+class TestDeterministicSerialization:
+    """The payload is a stable canonical form (engine fingerprints rely
+    on it): independent explorations serialize byte-identically apart
+    from wall-clock stats, and every list has a documented sort order.
+    """
+
+    @staticmethod
+    def _strip_elapsed(payload: dict) -> dict:
+        payload = dict(payload)
+        payload["stats"] = {
+            k: v
+            for k, v in payload["stats"].items()
+            if k != "elapsed_seconds"
+        }
+        return payload
+
+    def test_two_explorations_serialize_identically(self):
+        a = result_to_dict(explore(IllinoisProtocol()))
+        b = result_to_dict(explore(IllinoisProtocol()))
+        assert json.dumps(
+            self._strip_elapsed(a), sort_keys=True
+        ) == json.dumps(self._strip_elapsed(b), sort_keys=True)
+
+    def test_transitions_are_sorted(self, illinois_result):
+        transitions = result_to_dict(illinois_result)["transitions"]
+        keys = [(t["source"], t["label"], t["target"]) for t in transitions]
+        assert keys == sorted(keys)
+
+    def test_state_classes_are_sorted(self, explored_augmented):
+        for result in explored_augmented.values():
+            for state in result.essential:
+                classes = state_to_dict(state)["classes"]
+                keys = [(c["symbol"], c["data"] or "") for c in classes]
+                assert keys == sorted(keys)
+
+    def test_roundtrip_preserves_canonical_form(self, illinois_result):
+        for state in illinois_result.essential:
+            payload = state_to_dict(state)
+            again = state_to_dict(state_from_dict(payload))
+            assert payload == again
+
+    def test_json_key_order_is_stable(self, illinois_result):
+        text = result_to_json(illinois_result)
+        parsed = json.loads(text)
+        assert list(parsed) == sorted(parsed)
+
+
 class TestCliAdditions:
     def test_fsm_command(self, capsys):
         from repro.cli import main

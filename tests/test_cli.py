@@ -69,6 +69,109 @@ class TestMutantsCommand:
         assert "KILLED" in out
         assert "SURVIVED" not in out
 
+    def test_parallel_matches_serial(self, capsys):
+        assert main(["mutants", "msi"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["mutants", "msi", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestBatchCommand:
+    def test_smoke(self, capsys):
+        assert main(["batch", "--protocols", "msi", "illinois", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "msi" in out and "illinois" in out
+        assert out.count("VERIFIED") >= 2
+        assert "2 jobs: 2 verified" in out
+
+    def test_mutants_flag_exits_one(self, capsys):
+        code = main(["batch", "--protocols", "msi", "--mutants", "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "msi+drop-invalidation" in out
+        assert "FAILED" in out
+
+    def test_warm_cache_and_journal(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        journal = tmp_path / "run.jsonl"
+        assert main(["batch", "--protocols", "msi", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hits" in cold
+        code = main(
+            [
+                "batch",
+                "--protocols",
+                "msi",
+                "--cache-dir",
+                cache_dir,
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        warm = capsys.readouterr().out
+        assert "1 cache hits" in warm
+        events = [json.loads(line) for line in journal.read_text().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds.count("cache_hit") == 1
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+
+    def test_spec_file(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--protocols",
+                    "none",
+                    "--spec-file",
+                    "examples/specs/firefly_like.proto",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        assert "firefly_like" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_help_documents_exit_status(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit status" in out.lower()
+        for marker in ("0 ", "1 ", "2 "):
+            assert marker in out
+
+    def test_unknown_protocol_is_usage_error(self, capsys):
+        assert main(["verify", "nonexistent"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_mutant_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "msi", "--mutant", "nope", "--quiet"])
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_inapplicable_mutant_is_usage_error(self, capsys):
+        code = main(
+            ["verify", "msi", "--mutant", "drop-update-broadcast", "--quiet"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_spec_file_is_spec_error(self, capsys):
+        code = main(
+            ["batch", "--protocols", "none", "--spec-file", "no/such.proto"]
+        )
+        assert code == 2
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_batch_unknown_protocol_is_usage_error(self, capsys):
+        assert main(["batch", "--protocols", "nonexistent", "--no-cache"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestEnumerateCommand:
     def test_enumerate(self, capsys):
