@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.analysis.reporting import format_table
 from repro.core.essential import explore

@@ -15,7 +15,6 @@ Run:  python examples/custom_protocol.py
 """
 
 from repro import verify
-from repro.core.errors import ForbidMultiple
 from repro.core.protocol import ProtocolSpec
 from repro.core.reactions import Ctx, MEMORY, ObserverReaction, Outcome
 from repro.core.symbols import Op

@@ -30,15 +30,18 @@ from .core import (
     verify,
 )
 from .engine import BatchReport, ResultCache, RunJournal, VerificationJob, run_batch
+from .lint import LintError, LintReport, lint_all, lint_spec
 from .protocols import all_protocols, get_protocol, protocol_names
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchReport",
     "CompositeState",
     "DataValue",
     "ExpansionResult",
+    "LintError",
+    "LintReport",
     "Op",
     "ProtocolSpec",
     "PruningMode",
@@ -52,6 +55,8 @@ __all__ = [
     "all_protocols",
     "explore",
     "get_protocol",
+    "lint_all",
+    "lint_spec",
     "protocol_names",
     "run_batch",
     "verify",

@@ -25,6 +25,7 @@ __all__ = [
     "expansion_listing",
     "essential_state_rows",
     "batch_summary_table",
+    "lint_table",
 ]
 
 
@@ -112,6 +113,24 @@ def batch_summary_table(
     """
     return format_table(
         ["job", "verdict", "essential", "visits", "time", "source"],
+        rows,
+        title=title,
+    )
+
+
+def lint_table(
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "Static-analysis findings (preflight)",
+) -> str:
+    """The lint-findings table attached to batch reports.
+
+    ``rows`` come from :meth:`repro.engine.BatchReport.lint_rows`: one
+    row per finding with the owning job, rule id, severity, location
+    and message.
+    """
+    return format_table(
+        ["job", "rule", "severity", "location", "message"],
         rows,
         title=title,
     )

@@ -7,6 +7,8 @@ Subcommands cover the full workflow a protocol designer would use:
   diagram and counterexamples;
 * ``repro batch --protocols all --mutants --jobs 8`` -- the batch
   engine: parallel verification with result caching and a run journal;
+* ``repro lint --all`` -- the static protocol analyzer: PLxxx rules
+  over specs without running expansion (text/JSON/SARIF output);
 * ``repro mutants illinois`` -- verify every injected-bug variant;
 * ``repro enumerate illinois -n 4`` -- the explicit Figure 2 baseline;
 * ``repro crossval illinois`` -- the Theorem 1 completeness check;
@@ -35,7 +37,7 @@ from .core.serialize import result_to_json
 from .core.verifier import verify
 from .enumeration.crossval import cross_validate
 from .enumeration.exhaustive import Equivalence, enumerate_space
-from .protocols.dsl import DslError, load_protocol
+from .protocols.dsl import DslError, load_protocol, parse_protocol
 from .protocols.perturb import criticality_profile
 from .protocols.mutations import MUTATIONS, get_mutant, mutants_for
 from .protocols.registry import all_protocols, protocol_names, resolve_specs
@@ -55,9 +57,11 @@ EXIT_ERROR = 2
 _EXIT_STATUS_DOC = """\
 exit status:
   0   success -- every requested check passed
-  1   verification found violations (or mutants escaped the verifier)
+  1   verification found violations (or mutants escaped the verifier,
+      or lint found error-severity problems)
   2   usage, specification or input error (unknown protocol, bad spec
-      file, malformed arguments, crashed/timed-out batch jobs)
+      file, malformed arguments, crashed/timed-out batch jobs,
+      preflight-rejected specifications)
 """
 
 
@@ -85,7 +89,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     status = EXIT_OK
     if args.spec_file:
-        specs = [load_protocol(args.spec_file)]
+        if args.preflight:
+            # Parse leniently: the preflight (not the structural
+            # validator) should be the one reporting static problems.
+            from pathlib import Path
+
+            text = Path(args.spec_file).read_text(encoding="utf-8")
+            specs = [
+                parse_protocol(
+                    text,
+                    default_name=Path(args.spec_file).stem,
+                    source_path=args.spec_file,
+                )
+            ]
+        else:
+            specs = [load_protocol(args.spec_file)]
     else:
         specs = resolve_specs(args.protocol)
     for spec in specs:
@@ -96,7 +114,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             augmented=not args.structural,
             pruning=PruningMode.DUPLICATES if args.no_pruning else PruningMode.CONTAINMENT,
             validate_spec=not args.mutant,
+            preflight=args.preflight or "off",
         )
+        if report.lint is not None and not report.lint.clean:
+            for diagnostic in report.lint.diagnostics:
+                print(f"lint: {diagnostic.render(report.lint.target)}")
         if args.quiet:
             print(report)
         else:
@@ -164,13 +186,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             journal=journal,
             timeout=args.timeout,
             retries=args.retries,
+            preflight=args.preflight,
         )
     print(report.summary_table())
+    lint_findings = report.lint_table()
+    if lint_findings:
+        print()
+        print(lint_findings)
     print()
     print(report.counts_line())
     if args.journal:
         print(f"journal written to {args.journal}")
     return report.exit_code
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import RENDERERS, lint_all, lint_path, lint_protocol
+
+    reports = []
+    if args.all:
+        reports.extend(lint_all(select=args.select, ignore=args.ignore))
+    for name in args.protocol:
+        reports.append(
+            lint_protocol(name, select=args.select, ignore=args.ignore)
+        )
+    for path in args.spec_file:
+        reports.append(lint_path(path, select=args.select, ignore=args.ignore))
+    if not reports:
+        raise ValueError(
+            "nothing to lint: give spec files, --protocol NAME or --all"
+        )
+    rendered = RENDERERS[args.format](reports)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(rendered)
+    failing = sum(r.errors for r in reports)
+    if args.strict:
+        failing += sum(r.warnings for r in reports)
+    return EXIT_VIOLATION if failing else EXIT_OK
 
 
 def _cmd_mutants(args: argparse.Namespace) -> int:
@@ -360,6 +416,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", metavar="FILE", help="write the diagram as DOT")
     p.add_argument("--json", metavar="FILE", help="write the full result as JSON")
     p.add_argument("--quiet", action="store_true", help="one-line summaries only")
+    p.add_argument(
+        "--preflight",
+        nargs="?",
+        const="reject",
+        choices=("reject", "annotate"),
+        help="statically analyze the spec first: 'reject' (default when the "
+        "flag is given) aborts on error-severity findings, 'annotate' "
+        "prints them and verifies anyway",
+    )
 
     p = sub.add_parser(
         "batch",
@@ -420,6 +485,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget for timed-out/crashed jobs (default: 1)",
     )
     p.add_argument("--structural", action="store_true", help="skip context variables")
+    p.add_argument(
+        "--preflight",
+        nargs="?",
+        const="reject",
+        choices=("reject", "annotate"),
+        help="lint every spec before dispatch: 'reject' (default when the "
+        "flag is given) turns error-severity findings into rejected jobs "
+        "that never reach a worker, 'annotate' records findings but "
+        "verifies anyway",
+    )
+
+    p = sub.add_parser(
+        "lint",
+        help="statically analyze specs without running verification",
+        description="Run the static protocol analyzer (repro.lint) over "
+        "DSL spec files, registry protocols or the whole shipped zoo. "
+        "Rules are addressable as PLxxx codes or kebab-case names; see "
+        "docs/LINT.md for the catalog.",
+    )
+    p.add_argument(
+        "spec_file",
+        nargs="*",
+        help="DSL specification files to analyze",
+    )
+    p.add_argument(
+        "--protocol",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="also lint a registry protocol (repeatable)",
+    )
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every registry protocol and every builtin DSL spec",
+    )
+    p.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="only run these rules (PLxxx codes or names, comma-separated; "
+        "repeatable)",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="skip these rules (PLxxx codes or names, comma-separated; "
+        "repeatable)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text; 'sarif' emits SARIF 2.1.0)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too, not just errors",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the report here instead of stdout",
+    )
 
     p = sub.add_parser("mutants", help="verify every injected-bug variant")
     p.add_argument("protocol", help="protocol name or 'all'")
@@ -493,6 +625,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "verify": _cmd_verify,
     "batch": _cmd_batch,
+    "lint": _cmd_lint,
     "mutants": _cmd_mutants,
     "enumerate": _cmd_enumerate,
     "crossval": _cmd_crossval,

@@ -11,11 +11,15 @@ protocol is broken -- counterexample paths from the initial state.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .errors import Violation, Witness
 from .essential import ExpansionResult, PruningMode, explore
 from .graph import ascii_diagram
 from .protocol import ProtocolSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lint.model import LintReport
 
 __all__ = ["VerificationReport", "verify"]
 
@@ -25,6 +29,9 @@ class VerificationReport:
     """Human-oriented wrapper around an :class:`ExpansionResult`."""
 
     result: ExpansionResult
+    #: Static-analysis findings collected by the ``preflight`` option
+    #: (``None`` when verification ran without a preflight).
+    lint: "LintReport | None" = None
 
     @property
     def ok(self) -> bool:
@@ -92,12 +99,25 @@ def verify(
     max_visits: int = 1_000_000,
     stop_on_error: bool = False,
     validate_spec: bool = True,
+    preflight: str = "off",
 ) -> VerificationReport:
     """Verify a protocol; the library's main entry point.
 
     ``protocol`` may be a :class:`~repro.core.protocol.ProtocolSpec`
     instance or a registry name such as ``"illinois"``.
+
+    ``preflight`` runs the static analyzer (:mod:`repro.lint`) before
+    the expansion: ``"reject"`` raises
+    :class:`~repro.lint.model.LintError` when an error-severity rule
+    fires, ``"annotate"`` only attaches the findings to the returned
+    report's ``lint`` field, ``"off"`` (the default) skips the
+    analysis entirely.
     """
+    if preflight not in ("off", "reject", "annotate"):
+        raise ValueError(
+            f"preflight must be 'off', 'reject' or 'annotate', "
+            f"not {preflight!r}"
+        )
     if isinstance(protocol, str):
         # Imported lazily: the registry lives above the core package.
         from ..protocols.registry import get_protocol
@@ -105,6 +125,14 @@ def verify(
         spec = get_protocol(protocol)
     else:
         spec = protocol
+    lint_report = None
+    if preflight != "off":
+        # Imported lazily: the linter lives above the core package.
+        from ..lint import LintError, lint_spec
+
+        lint_report = lint_spec(spec)
+        if preflight == "reject" and not lint_report.ok:
+            raise LintError(lint_report)
     if validate_spec:
         spec.validate()
     result = explore(
@@ -114,4 +142,4 @@ def verify(
         max_visits=max_visits,
         stop_on_error=stop_on_error,
     )
-    return VerificationReport(result)
+    return VerificationReport(result, lint=lint_report)

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from ..analysis.reporting import batch_summary_table
+from ..analysis.reporting import batch_summary_table, lint_table
 from .cache import ResultCache
 from .fingerprint import ENGINE_VERSION, spec_fingerprint
 from .job import JobResult, JobStatus, VerificationJob
@@ -51,8 +51,13 @@ class BatchReport:
 
     @property
     def errors(self) -> int:
-        """Jobs that errored, timed out or crashed."""
+        """Jobs that errored, timed out, crashed or were rejected."""
         return sum(1 for r in self.results if not r.completed)
+
+    @property
+    def rejected(self) -> int:
+        """Jobs the lint preflight refused to dispatch."""
+        return sum(1 for r in self.results if r.status == JobStatus.REJECTED)
 
     @property
     def cache_hits(self) -> int:
@@ -86,7 +91,9 @@ class BatchReport:
                     str(len(payload["essential_states"])) if payload else "-",
                     str(payload["stats"]["visits"]) if payload else "-",
                     f"{result.elapsed * 1000:.0f} ms",
-                    "cache" if result.cached else "run",
+                    "lint"
+                    if result.status == JobStatus.REJECTED
+                    else ("cache" if result.cached else "run"),
                 ]
             )
         return rows
@@ -95,13 +102,43 @@ class BatchReport:
         """The end-of-run summary table."""
         return batch_summary_table(self.rows())
 
+    def lint_rows(self) -> list[list[str]]:
+        """One row per preflight finding across all jobs."""
+        rows = []
+        for result in self.results:
+            for finding in result.lint or ():
+                location = finding.get("location", {})
+                where = location.get("file") or location.get("symbol") or "-"
+                if location.get("line") is not None:
+                    where += f":{location['line']}"
+                rows.append(
+                    [
+                        result.job.label,
+                        finding.get("rule", "?"),
+                        finding.get("severity", "?"),
+                        where,
+                        finding.get("message", ""),
+                    ]
+                )
+        return rows
+
+    def lint_table(self) -> str:
+        """Rendered preflight-findings table ('' when there are none)."""
+        rows = self.lint_rows()
+        if not rows:
+            return ""
+        return lint_table(rows)
+
     def counts_line(self) -> str:
         """One-line roll-up printed under the summary table."""
-        return (
+        line = (
             f"{len(self.results)} jobs: {self.verified} verified, "
-            f"{self.violations} with violations, {self.errors} errors; "
-            f"{self.cache_hits} cache hits; wall {self.wall:.2f}s"
+            f"{self.violations} with violations, {self.errors} errors"
         )
+        if self.rejected:
+            line += f" ({self.rejected} rejected by preflight)"
+        line += f"; {self.cache_hits} cache hits; wall {self.wall:.2f}s"
+        return line
 
 
 def run_batch(
@@ -113,6 +150,7 @@ def run_batch(
     timeout: float | None = None,
     retries: int = 1,
     runner: SerialRunner | ParallelRunner | None = None,
+    preflight: str | None = None,
 ) -> BatchReport:
     """Verify every job, reusing cached results and journaling the run.
 
@@ -134,7 +172,17 @@ def run_batch(
     runner:
         Explicit runner instance (overrides ``workers``/``timeout``/
         ``retries``); used by tests to compare execution strategies.
+    preflight:
+        Override every job's ``preflight`` mode (``"off"``,
+        ``"reject"`` or ``"annotate"``); ``None`` honours the per-job
+        setting.  Preflight runs in *this* process, before cache lookup
+        and worker dispatch: a rejected job never reaches a worker.
     """
+    if preflight not in (None, "off", "reject", "annotate"):
+        raise ValueError(
+            "preflight must be None, 'off', 'reject' or 'annotate', "
+            f"not {preflight!r}"
+        )
     jobs = list(jobs)
     if journal is None:
         journal = RunJournal()
@@ -146,18 +194,37 @@ def run_batch(
         engine=ENGINE_VERSION,
         cache_dir=str(cache.root) if cache is not None else None,
         journal=str(journal.path) if journal.path is not None else None,
+        preflight=preflight,
     )
 
     results: list[JobResult | None] = [None] * len(jobs)
     fingerprints: dict[int, str] = {}
+    lint_findings: dict[int, list[dict[str, Any]]] = {}
     to_run: list[int] = []
 
     for i, job in enumerate(jobs):
+        mode = preflight if preflight is not None else job.preflight
+        if mode != "off":
+            try:
+                rejected = _preflight(journal, job, mode, lint_findings, i)
+            except Exception as exc:  # noqa: BLE001 - spec errors are data
+                error = f"{type(exc).__name__}: {exc}"
+                results[i] = JobResult(job, JobStatus.ERROR, error=error)
+                journal.emit("job_start", job=job.label, fingerprint=None)
+                _finish(journal, results[i])
+                continue
+            if rejected is not None:
+                results[i] = rejected
+                journal.emit("job_start", job=job.label, fingerprint=None)
+                _finish(journal, rejected)
+                continue
         try:
             fingerprint = spec_fingerprint(job.resolve_spec())
         except Exception as exc:  # noqa: BLE001 - spec errors are data here
             error = f"{type(exc).__name__}: {exc}"
-            results[i] = JobResult(job, JobStatus.ERROR, error=error)
+            results[i] = JobResult(
+                job, JobStatus.ERROR, error=error, lint=lint_findings.get(i)
+            )
             journal.emit("job_start", job=job.label, fingerprint=None)
             _finish(journal, results[i])
             continue
@@ -166,6 +233,7 @@ def run_batch(
         if cache is not None:
             hit = cache.get(fingerprint, job)
             if hit is not None:
+                hit.lint = lint_findings.get(i)
                 results[i] = hit
                 journal.emit(
                     "cache_hit",
@@ -185,6 +253,7 @@ def run_batch(
         )
         for i, result in zip(to_run, fresh):
             result.fingerprint = fingerprints[i]
+            result.lint = lint_findings.get(i)
             results[i] = result
             _finish(journal, result)
             if cache is not None:
@@ -200,10 +269,87 @@ def run_batch(
         verified=report.verified,
         violations=report.violations,
         errors=report.errors,
+        rejected=report.rejected,
         cache_hits=report.cache_hits,
         wall=round(wall, 4),
     )
     return report
+
+
+def _lint_job(job: VerificationJob):
+    """Lint the specification a job will verify, without validating it.
+
+    ``resolve_spec`` runs the full structural validation for DSL files,
+    which raises on exactly the problems the linter is meant to report;
+    spec-file jobs are therefore parsed leniently here (syntax errors
+    become ``PL000`` findings) so statically-broken files reach the
+    analyzer instead of blowing up before it.
+    """
+    from ..lint import lint_source, lint_spec
+
+    if job.spec_file is not None:
+        from pathlib import Path
+
+        text = Path(job.spec_file).read_text(encoding="utf-8")
+        if job.mutant is None:
+            return lint_source(
+                text, name=Path(job.spec_file).stem, path=job.spec_file
+            )
+        from ..protocols.dsl import parse_protocol
+        from ..protocols.mutations import get_mutant
+
+        spec = parse_protocol(
+            text,
+            default_name=Path(job.spec_file).stem,
+            source_path=job.spec_file,
+        )
+        return lint_spec(get_mutant(spec, job.mutant), target=job.label)
+    return lint_spec(job.resolve_spec(), target=job.label)
+
+
+def _preflight(
+    journal: RunJournal,
+    job: VerificationJob,
+    mode: str,
+    lint_findings: dict[int, list[dict[str, Any]]],
+    index: int,
+) -> JobResult | None:
+    """Lint one job's spec before dispatch; a result means rejection.
+
+    Emits the ``lint`` journal event, stashes the findings for
+    attachment to whatever result the job eventually produces, and --
+    in ``"reject"`` mode -- returns a terminal ``rejected`` result for
+    specs failing an error-severity rule.
+    """
+    report = _lint_job(job)
+    findings = [d.to_dict() for d in report.diagnostics]
+    journal.emit(
+        "lint",
+        job=job.label,
+        mode=mode,
+        errors=report.errors,
+        warnings=report.warnings,
+        infos=report.infos,
+        suppressed=len(report.suppressed),
+        findings=findings,
+    )
+    if findings:
+        lint_findings[index] = findings
+    if mode == "reject" and not report.ok:
+        first = next(
+            d for d in report.diagnostics if d.severity.value == "error"
+        )
+        return JobResult(
+            job,
+            JobStatus.REJECTED,
+            error=(
+                f"preflight: {report.errors} lint error"
+                f"{'s' if report.errors != 1 else ''} "
+                f"({first.rule}: {first.message})"
+            ),
+            lint=findings,
+        )
+    return None
 
 
 def _finish(journal: RunJournal, result: JobResult) -> None:

@@ -41,6 +41,8 @@ class JobStatus:
     ERROR = "error"
     TIMEOUT = "timeout"
     CRASH = "crash"
+    #: The lint preflight refused to dispatch a statically-broken spec.
+    REJECTED = "rejected"
 
     #: Statuses for which a verification actually completed and
     #: produced a payload.
@@ -55,6 +57,14 @@ class VerificationJob:
     name), ``spec_file`` (DSL path) or ``spec`` (an in-memory
     specification).  ``mutant`` optionally applies a named mutation to
     the resolved specification.
+
+    ``preflight`` asks the batch engine to statically analyze the
+    resolved specification *before dispatching it to a worker*:
+    ``"reject"`` turns error-severity findings into a ``rejected``
+    result (no worker ever sees the job), ``"annotate"`` records the
+    findings on the result but verifies anyway, ``"off"`` (the
+    default) skips the analysis.  Preflight never changes a verdict,
+    so it is deliberately *not* part of the cache key.
     """
 
     protocol: str | None = None
@@ -65,6 +75,7 @@ class VerificationJob:
     pruning: str = PruningMode.CONTAINMENT.value
     max_visits: int = 1_000_000
     validate_spec: bool = False
+    preflight: str = "off"
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -75,6 +86,11 @@ class VerificationJob:
             raise ValueError(
                 "a VerificationJob needs exactly one of protocol / "
                 "spec_file / spec"
+            )
+        if self.preflight not in ("off", "reject", "annotate"):
+            raise ValueError(
+                "preflight must be 'off', 'reject' or 'annotate', "
+                f"not {self.preflight!r}"
             )
         if not self.label:
             object.__setattr__(self, "label", self._default_label())
@@ -126,6 +142,7 @@ class VerificationJob:
             "pruning": self.pruning,
             "max_visits": self.max_visits,
             "validate_spec": self.validate_spec,
+            "preflight": self.preflight,
         }
 
 
@@ -146,6 +163,9 @@ class JobResult:
     elapsed: float = 0.0
     cached: bool = False
     fingerprint: str | None = None
+    #: Preflight findings (``Diagnostic.to_dict()`` records), attached
+    #: when the job ran with ``preflight`` enabled.
+    lint: list[dict[str, Any]] | None = None
 
     @property
     def completed(self) -> bool:
@@ -166,6 +186,7 @@ class JobResult:
             JobStatus.ERROR: "ERROR",
             JobStatus.TIMEOUT: "TIMEOUT",
             JobStatus.CRASH: "CRASH",
+            JobStatus.REJECTED: "REJECTED",
         }[self.status]
 
 

@@ -13,15 +13,18 @@ Event vocabulary (all events carry ``t``, a Unix timestamp):
 ========== =================================================================
 event      extra fields
 ========== =================================================================
-run_start  jobs, workers, engine, cache_dir, journal
+run_start  jobs, workers, engine, cache_dir, journal, preflight
 job_start  job, fingerprint
+lint       job, mode, errors, warnings, infos, suppressed, findings
+           (the static-analysis preflight; ``findings`` are
+           ``Diagnostic.to_dict()`` records)
 cache_hit  job, key
 job_retry  job, attempt, reason
 job_timeout job, attempt, timeout
 job_crash  job, attempt, exitcode
 job_finish job, status, ok, cached, attempts, elapsed, visits, expanded,
            essential, error
-run_end    jobs, verified, violations, errors, cache_hits, wall
+run_end    jobs, verified, violations, errors, rejected, cache_hits, wall
 ========== =================================================================
 """
 

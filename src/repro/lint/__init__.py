@@ -1,0 +1,60 @@
+"""repro.lint -- static analysis of protocol specifications.
+
+The paper's conclusion (Section 5) proposes a formal specification
+language "to reduce the possibility of transcription errors"; this
+package is the accompanying checker.  It inspects
+:class:`~repro.core.protocol.ProtocolSpec` objects and DSL sources
+*without running a symbolic expansion*: a pluggable rule registry
+(:func:`~repro.lint.registry.rule`), a diagnostics model with physical
+(DSL line/column) and symbolic locations, three renderers (text, JSON,
+SARIF 2.1.0) and twelve ``PLxxx`` rules grounded in the paper's FSM
+model.  See ``docs/LINT.md`` for the rule catalog.
+
+Entry points::
+
+    from repro.lint import lint_spec, lint_all, render_text
+
+    report = lint_spec(get_protocol("illinois"))
+    print(render_text([report]))
+
+The batch engine and ``verify()`` use the same API as their
+``preflight`` implementation; the CLI exposes it as ``repro lint``.
+"""
+
+from .api import (
+    lint_all,
+    lint_builtin,
+    lint_path,
+    lint_protocol,
+    lint_source,
+    lint_spec,
+)
+from .context import LintContext, ProbeEntry
+from .model import Diagnostic, LintError, LintReport, Location, Severity
+from .registry import RULES, SYNTAX_RULE, LintRule, rule, selected_rules
+from .render import RENDERERS, render_json, render_sarif, render_text
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "Location",
+    "ProbeEntry",
+    "RENDERERS",
+    "RULES",
+    "SYNTAX_RULE",
+    "Severity",
+    "lint_all",
+    "lint_builtin",
+    "lint_path",
+    "lint_protocol",
+    "lint_source",
+    "lint_spec",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule",
+    "selected_rules",
+]

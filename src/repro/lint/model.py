@@ -1,0 +1,213 @@
+"""Diagnostics model of the static protocol analyzer.
+
+A lint run produces :class:`Diagnostic` records -- rule id, severity,
+message and a :class:`Location` that is physical (file/line/column)
+when the specification came from the DSL and symbolic (a dotted path
+into the specification object) for registry or in-memory specs.  A
+:class:`LintReport` collects the diagnostics of one specification
+together with the findings silenced by ``# lint: ignore[...]``
+annotations, and knows the severity roll-up the CLI exit status is
+derived from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..core.protocol import ProtocolDefinitionError
+
+__all__ = [
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "LintReport",
+    "LintError",
+]
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings mean the specification is statically broken --
+    verifying it would crash, loop or answer a question about a machine
+    that cannot exist; preflight rejects them.  ``WARNING`` findings
+    are strong smells (dead rules, deadlock heuristics) that do not
+    invalidate a verdict.  ``INFO`` findings are stylistic.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for sorting (errors first)."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points.
+
+    ``file``/``line``/``col`` locate DSL findings physically; ``symbol``
+    is the symbolic path (e.g. ``react(Shared, W)`` or ``states``) used
+    for registry specifications and as a secondary anchor for DSL ones.
+    """
+
+    file: str | None = None
+    line: int | None = None
+    col: int | None = None
+    symbol: str | None = None
+
+    def render(self, fallback: str = "<spec>") -> str:
+        """The ``path:line:col`` prefix of one diagnostic line."""
+        base = self.file if self.file else fallback
+        if self.line is not None:
+            base += f":{self.line}"
+            if self.col is not None:
+                base += f":{self.col}"
+        if self.file is None and self.symbol:
+            base += f" ({self.symbol})"
+        return base
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able rendering (``None`` fields omitted)."""
+        payload: dict[str, Any] = {}
+        for key in ("file", "line", "col", "symbol"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule against one specification."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    spec_name: str = ""
+
+    def sort_key(self) -> tuple:
+        """Deterministic report order: position, then severity, then id."""
+        return (
+            self.location.line if self.location.line is not None else 1 << 30,
+            self.location.col if self.location.col is not None else 0,
+            self.severity.rank,
+            self.rule,
+            self.message,
+        )
+
+    def render(self, fallback: str = "<spec>") -> str:
+        """One ``file:line:col: PLxxx severity: message`` line."""
+        return (
+            f"{self.location.render(fallback)}: {self.rule} "
+            f"{self.severity.value}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able rendering of the finding."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location.to_dict(),
+            "spec": self.spec_name,
+        }
+
+
+@dataclass
+class LintReport:
+    """Every finding of one lint run over one specification."""
+
+    target: str
+    artifact: str | None = None
+    diagnostics: tuple[Diagnostic, ...] = ()
+    suppressed: tuple[Diagnostic, ...] = ()
+
+    # ------------------------------------------------------------------
+    def count(self, severity: Severity) -> int:
+        """Number of (non-suppressed) findings of one severity."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        """Error-severity findings (the preflight/exit-status signal)."""
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        """Warning-severity findings."""
+        return self.count(Severity.WARNING)
+
+    @property
+    def infos(self) -> int:
+        """Info-severity findings."""
+        return self.count(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the specification has no error-severity finding."""
+        return self.errors == 0
+
+    @property
+    def clean(self) -> bool:
+        """True iff there is no finding at all (any severity)."""
+        return not self.diagnostics
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line roll-up used by the text renderer and the journal."""
+        if self.clean:
+            return f"{self.target}: clean"
+        parts = []
+        for severity in Severity:
+            n = self.count(severity)
+            if n:
+                parts.append(f"{n} {severity.value}{'s' if n != 1 else ''}")
+        line = f"{self.target}: " + ", ".join(parts)
+        if self.suppressed:
+            line += f" ({len(self.suppressed)} suppressed)"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able rendering of the whole report."""
+        return {
+            "target": self.target,
+            "artifact": self.artifact,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+        }
+
+
+class LintError(ProtocolDefinitionError):
+    """A preflight rejected a statically-broken specification.
+
+    Subclasses :class:`ProtocolDefinitionError` so every existing
+    caller that maps specification problems to the usage-error exit
+    status (2) handles lint rejections identically.
+    """
+
+    def __init__(self, report: LintReport) -> None:
+        findings = "; ".join(
+            d.render(report.target)
+            for d in report.diagnostics
+            if d.severity is Severity.ERROR
+        )
+        super().__init__(
+            f"{report.target}: {report.errors} lint error"
+            f"{'s' if report.errors != 1 else ''} -- {findings}"
+        )
+        self.report = report
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> tuple[Diagnostic, ...]:
+    """Deterministic ordering used by every renderer."""
+    return tuple(sorted(diagnostics, key=Diagnostic.sort_key))

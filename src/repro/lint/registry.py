@@ -1,0 +1,128 @@
+"""The pluggable rule registry of the static protocol analyzer.
+
+Rules are plain functions registered with the :func:`rule` decorator::
+
+    @rule("PL001", Severity.ERROR, "unreachable-state",
+          "state has no transition or reaction path from the invalid state")
+    def check_unreachable(ctx: LintContext) -> Iterator[Diagnostic]:
+        ...
+
+Every rule is addressable by its ``PLxxx`` code (and its kebab-case
+name) in ``--select`` / ``--ignore``, and its metadata feeds the SARIF
+``tool.driver.rules`` array.  Importing :mod:`repro.lint.rules`
+populates the registry with the built-in rule set; downstream code can
+register additional rules the same way.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence, TYPE_CHECKING
+
+from .model import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import LintContext
+
+__all__ = [
+    "LintRule",
+    "RULES",
+    "SYNTAX_RULE",
+    "rule",
+    "resolve_codes",
+    "selected_rules",
+]
+
+_CODE_RE = re.compile(r"^PL\d{3}$")
+
+#: Rule id reserved for DSL parse failures (reported by the front end,
+#: not by a registered checker function).
+SYNTAX_RULE = "PL000"
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: metadata plus the checker function."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    check: Callable[["LintContext"], Iterator[Diagnostic]]
+
+    @property
+    def help_text(self) -> str:
+        """Long description (the checker's docstring, if any)."""
+        return (self.check.__doc__ or self.summary).strip()
+
+
+#: All registered rules, keyed by ``PLxxx`` id, in registration order.
+RULES: dict[str, LintRule] = {}
+
+
+def rule(
+    id: str, severity: Severity, name: str, summary: str
+) -> Callable[
+    [Callable[["LintContext"], Iterator[Diagnostic]]],
+    Callable[["LintContext"], Iterator[Diagnostic]],
+]:
+    """Register a checker function under a ``PLxxx`` code."""
+    if not _CODE_RE.match(id):
+        raise ValueError(f"rule id {id!r} does not match PLxxx")
+
+    def decorate(
+        check: Callable[["LintContext"], Iterator[Diagnostic]],
+    ) -> Callable[["LintContext"], Iterator[Diagnostic]]:
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id}")
+        RULES[id] = LintRule(
+            id=id, name=name, severity=severity, summary=summary, check=check
+        )
+        return check
+
+    return decorate
+
+
+def _ensure_rules_loaded() -> None:
+    """Populate the registry with the built-in rule set (idempotent)."""
+    from . import rules  # noqa: F401 - imported for its registrations
+
+
+def resolve_codes(codes: Iterable[str] | None) -> frozenset[str] | None:
+    """Normalize a ``--select``/``--ignore`` argument to rule ids.
+
+    Accepts ``PLxxx`` codes and kebab-case rule names, comma- or
+    space-separated; raises ``KeyError`` for anything unknown.
+    """
+    if codes is None:
+        return None
+    _ensure_rules_loaded()
+    by_name = {r.name: r.id for r in RULES.values()}
+    resolved: set[str] = set()
+    flat: list[str] = []
+    for chunk in codes:
+        flat.extend(p for p in re.split(r"[,\s]+", chunk) if p)
+    for code in flat:
+        if code in RULES or code == SYNTAX_RULE:
+            resolved.add(code)
+        elif code in by_name:
+            resolved.add(by_name[code])
+        else:
+            known = ", ".join(sorted(RULES))
+            raise KeyError(f"unknown lint rule {code!r}; known: {known}")
+    return frozenset(resolved)
+
+
+def selected_rules(
+    select: Sequence[str] | None = None, ignore: Sequence[str] | None = None
+) -> list[LintRule]:
+    """The registered rules that survive ``--select``/``--ignore``."""
+    _ensure_rules_loaded()
+    keep = resolve_codes(select)
+    drop = resolve_codes(ignore) or frozenset()
+    return [
+        r
+        for r in RULES.values()
+        if (keep is None or r.id in keep) and r.id not in drop
+    ]

@@ -1,0 +1,165 @@
+"""Renderers for lint reports: human text, JSON, SARIF 2.1.0.
+
+All three render a *sequence* of :class:`~repro.lint.model.LintReport`
+objects (one per linted specification) so single-spec and ``--all``
+invocations share one code path.  The SARIF renderer emits one run with
+the full rule catalog in ``tool.driver.rules``, which is what GitHub
+code scanning needs to show rule help alongside findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .model import LintReport, Severity
+from .registry import RULES, SYNTAX_RULE, _ensure_rules_loaded
+
+__all__ = ["render_text", "render_json", "render_sarif", "RENDERERS"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_text(reports: Sequence[LintReport], *, verbose: bool = False) -> str:
+    """The human-readable, one-line-per-finding rendering."""
+    lines: list[str] = []
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            lines.append(diagnostic.render(report.target))
+        if verbose or not report.clean:
+            lines.append(report.summary())
+    errors = sum(r.errors for r in reports)
+    warnings = sum(r.warnings for r in reports)
+    infos = sum(r.infos for r in reports)
+    suppressed = sum(len(r.suppressed) for r in reports)
+    tail = (
+        f"{len(reports)} spec{'s' if len(reports) != 1 else ''} checked: "
+        f"{errors} error{'s' if errors != 1 else ''}, "
+        f"{warnings} warning{'s' if warnings != 1 else ''}, "
+        f"{infos} info{'s' if infos != 1 else ''}"
+    )
+    if suppressed:
+        tail += f" ({suppressed} suppressed)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[LintReport]) -> str:
+    """A machine-readable JSON document (stable key order)."""
+    payload = {
+        "tool": "repro-lint",
+        "reports": [report.to_dict() for report in reports],
+        "summary": {
+            "specs": len(reports),
+            "errors": sum(r.errors for r in reports),
+            "warnings": sum(r.warnings for r in reports),
+            "infos": sum(r.infos for r in reports),
+            "suppressed": sum(len(r.suppressed) for r in reports),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _sarif_rules() -> list[dict]:
+    """The ``tool.driver.rules`` catalog (PL000 plus registered rules)."""
+    _ensure_rules_loaded()
+    catalog = [
+        {
+            "id": SYNTAX_RULE,
+            "name": "syntax-error",
+            "shortDescription": {
+                "text": "the specification does not parse as DSL"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    ]
+    for registered in RULES.values():
+        catalog.append(
+            {
+                "id": registered.id,
+                "name": registered.name,
+                "shortDescription": {"text": registered.summary},
+                "fullDescription": {"text": registered.help_text},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS[registered.severity]
+                },
+            }
+        )
+    return catalog
+
+
+def render_sarif(reports: Sequence[LintReport]) -> str:
+    """A SARIF 2.1.0 log for GitHub code scanning."""
+    from .. import __version__
+
+    rules = _sarif_rules()
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results: list[dict] = []
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            location: dict = {}
+            if diagnostic.location.file is not None:
+                region: dict = {}
+                if diagnostic.location.line is not None:
+                    region["startLine"] = diagnostic.location.line
+                    if diagnostic.location.col is not None:
+                        region["startColumn"] = diagnostic.location.col
+                location["physicalLocation"] = {
+                    "artifactLocation": {"uri": diagnostic.location.file},
+                    **({"region": region} if region else {}),
+                }
+            symbol = diagnostic.location.symbol or diagnostic.spec_name
+            location["logicalLocations"] = [
+                {
+                    "fullyQualifiedName": (
+                        f"{diagnostic.spec_name or report.target}.{symbol}"
+                        if symbol
+                        else (diagnostic.spec_name or report.target)
+                    )
+                }
+            ]
+            results.append(
+                {
+                    "ruleId": diagnostic.rule,
+                    "ruleIndex": rule_index.get(diagnostic.rule, -1),
+                    "level": _SARIF_LEVELS[diagnostic.severity],
+                    "message": {
+                        "text": f"[{diagnostic.spec_name or report.target}] "
+                        f"{diagnostic.message}"
+                    },
+                    "locations": [location],
+                }
+            )
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+#: ``--format`` name -> renderer.
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,498 @@
+"""The built-in rule set of the static protocol analyzer.
+
+Each rule is a generator over :class:`~repro.lint.model.Diagnostic`
+registered with :func:`~repro.lint.registry.rule`.  Rules operate on a
+:class:`~repro.lint.context.LintContext` -- a probed, but never
+expanded, view of one specification -- so a statically broken protocol
+is diagnosed without paying for (or crashing) a symbolic verification.
+
+Rule ids are stable: ``PL000`` is reserved for DSL parse errors (emitted
+by the front end in :mod:`repro.lint.api`), ``PL001``--``PL011`` are the
+checkers below.  See ``docs/LINT.md`` for the full catalog with
+rationale and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.errors import ForbidMultiple, ForbidTogether
+from ..core.symbols import Op
+from .context import LintContext
+from .model import Diagnostic, Location, Severity
+from .registry import rule
+
+__all__: list[str] = []
+
+
+def _rule_or_symbolic(ctx: LintContext, entry_rule_index: int | None, symbol: str):
+    """Best location for a finding tied to one probe entry."""
+    if ctx.dsl is not None and entry_rule_index is not None:
+        return ctx.rule_location(entry_rule_index)
+    return ctx.symbolic(symbol)
+
+
+def _ctx_text(present: frozenset[str]) -> str:
+    """Human rendering of an observation context."""
+    return "{" + ", ".join(sorted(present)) + "}" if present else "{}"
+
+
+# ----------------------------------------------------------------------
+# PL001 -- unreachable state
+# ----------------------------------------------------------------------
+@rule("PL001", Severity.ERROR, "unreachable-state",
+      "state has no transition or reaction path from the invalid state")
+def check_unreachable_state(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A state no cache can ever enter.
+
+    Every cache starts with no copy (the invalid state, paper Section
+    2.1); a state with no initiator-transition or observer-reaction path
+    from it is dead weight -- usually a transcription error in the
+    transition table.  Reachability is computed over the probe table:
+    initiator edges of non-stalled outcomes plus observer edges whose
+    observer is present in the probed context.
+    """
+    for state in ctx.spec.states:
+        if state not in ctx.reachable:
+            yield ctx.diag(
+                "PL001",
+                Severity.ERROR,
+                f"state {state!r} is unreachable from the invalid state "
+                f"{ctx.spec.invalid!r} (no transition or observer reaction "
+                "enters it)",
+                ctx.directive_location("states"),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL002 -- shadowed guard (DSL only)
+# ----------------------------------------------------------------------
+@rule("PL002", Severity.WARNING, "shadowed-guard",
+      "an earlier rule matches every context this rule could match")
+def check_shadowed_guard(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A DSL rule that first-match-wins order makes unselectable.
+
+    Guards are evaluated in declaration order; if every context in the
+    probe sample that satisfies a rule's guard is already claimed by an
+    earlier rule of the same ``(state, op)``, the later rule is dead --
+    typically a mis-ordered ``if any`` before an ``if has(...)``.
+    Rules excluded from the alphabet or by ``restrict`` are PL010's
+    business, not this rule's.
+    """
+    if ctx.dsl is None:
+        return
+    selected = {e.rule_index for e in ctx.probes if e.rule_index is not None}
+    for index, dsl_rule in enumerate(ctx.dsl._rules):
+        if index in selected:
+            continue
+        if dsl_rule.op not in ctx.spec.operations:
+            continue  # PL010
+        if not ctx.spec.applicable(dsl_rule.state, dsl_rule.op):
+            continue  # PL010
+        earlier = [
+            r.line_no
+            for r in ctx.dsl._rules[:index]
+            if r.state == dsl_rule.state and r.op is dsl_rule.op
+        ]
+        detail = (
+            f" (earlier rule{'s' if len(earlier) > 1 else ''} at line"
+            f"{'s' if len(earlier) > 1 else ''} "
+            f"{', '.join(map(str, earlier))} match first)"
+            if earlier
+            else ""
+        )
+        yield ctx.diag(
+            "PL002",
+            Severity.WARNING,
+            f"rule 'on {dsl_rule.state} {dsl_rule.op.value}"
+            f"{' if ' + dsl_rule.guard.text if dsl_rule.guard.atoms else ''}' "
+            f"is never selected{detail}",
+            ctx.rule_location(index),
+        )
+
+
+# ----------------------------------------------------------------------
+# PL003 -- non-exhaustive operation
+# ----------------------------------------------------------------------
+@rule("PL003", Severity.ERROR, "non-exhaustive-op",
+      "an applicable (state, operation) pair has no behaviour in some context")
+def check_non_exhaustive(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A hole in the transition function.
+
+    The paper's Definition 1 makes the per-cache FSM total over its
+    alphabet: every valid state must answer every applicable operation
+    in every observation context (completing it or stalling).  A probed
+    cell with no matching DSL rule -- or a registry ``react`` that
+    raises -- means verification would crash mid-expansion.
+    """
+    seen: set[tuple[str, Op]] = set()
+    for entry in ctx.probes:
+        if entry.matched or (entry.state, entry.op) in seen:
+            continue
+        seen.add((entry.state, entry.op))
+        if entry.error is not None:
+            message = (
+                f"react({entry.state}, {entry.op.value}) raised in context "
+                f"{_ctx_text(entry.ctx.present)}: {entry.error}"
+            )
+        else:
+            message = (
+                f"no rule covers ({entry.state}, {entry.op.value}) in context "
+                f"{_ctx_text(entry.ctx.present)} (add a rule or a 'stall')"
+            )
+        location = ctx.symbolic(f"react({entry.state}, {entry.op.value})")
+        if ctx.dsl is not None:
+            near = ctx.dsl.rules_for(entry.state, entry.op)
+            if near:
+                location = ctx.rule_location(ctx.dsl._rules.index(near[-1]))
+        yield ctx.diag("PL003", Severity.ERROR, message, location)
+
+
+# ----------------------------------------------------------------------
+# PL004 -- unknown state reference
+# ----------------------------------------------------------------------
+@rule("PL004", Severity.ERROR, "unknown-state-ref",
+      "a declaration references a state symbol that is not in Q")
+def check_unknown_state_ref(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Declarative metadata naming states outside the FSM's alphabet.
+
+    Covers duplicate state symbols, an invalid state missing from Q,
+    and ``forbid``/``owners``/``exclusive``/``shared-fill``/``restrict``
+    entries naming unknown states.  The DSL parser rejects most of
+    these up front; the rule is the registry-spec equivalent (and a
+    safety net for hand-built ``ProtocolSpec`` objects).
+    """
+    spec = ctx.spec
+    states = set(spec.states)
+    if len(states) != len(spec.states):
+        duplicates = sorted(
+            {s for s in spec.states if spec.states.count(s) > 1}
+        )
+        yield ctx.diag(
+            "PL004",
+            Severity.ERROR,
+            f"duplicate state symbol{'s' if len(duplicates) > 1 else ''}: "
+            f"{', '.join(duplicates)}",
+            ctx.directive_location("states"),
+        )
+    if spec.invalid not in states:
+        yield ctx.diag(
+            "PL004",
+            Severity.ERROR,
+            f"invalid state {spec.invalid!r} is not among the declared states",
+            ctx.directive_location("invalid"),
+        )
+    for index, pattern in enumerate(spec.error_patterns):
+        if isinstance(pattern, ForbidMultiple):
+            symbols = (pattern.symbol,)
+        elif isinstance(pattern, ForbidTogether):
+            symbols = (pattern.a, pattern.b)
+        else:  # pragma: no cover - future pattern kinds
+            continue
+        for symbol in symbols:
+            if symbol not in states:
+                location = ctx.symbolic(f"error_patterns[{index}]")
+                if ctx.dsl is not None and index < len(ctx.dsl.forbid_origins):
+                    origin = ctx.dsl.forbid_origins[index]
+                    location = Location(
+                        file=ctx.artifact, line=origin.line, col=origin.col,
+                        symbol="forbid",
+                    )
+                yield ctx.diag(
+                    "PL004",
+                    Severity.ERROR,
+                    f"forbidden-pattern references unknown state {symbol!r}",
+                    location,
+                )
+    for attr in ("owner_states", "exclusive_states"):
+        for symbol in getattr(spec, attr):
+            if symbol not in states:
+                yield ctx.diag(
+                    "PL004",
+                    Severity.ERROR,
+                    f"{attr} references unknown state {symbol!r}",
+                    ctx.symbolic(attr),
+                )
+    if spec.shared_fill_state is not None and spec.shared_fill_state not in states:
+        yield ctx.diag(
+            "PL004",
+            Severity.ERROR,
+            f"shared_fill_state references unknown state "
+            f"{spec.shared_fill_state!r}",
+            ctx.symbolic("shared_fill_state"),
+        )
+
+
+# ----------------------------------------------------------------------
+# PL005 -- sharing-detection mismatch (DSL only)
+# ----------------------------------------------------------------------
+@rule("PL005", Severity.ERROR, "sharing-mismatch",
+      "guards read the sharing line but sharing-detection is off")
+def check_sharing_mismatch(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Characteristic-function mismatch (paper Definition 5).
+
+    ``any``/``none`` guards are exactly the sharing-detection wire: a
+    cache can only branch on "some other cache has a copy" when the
+    protocol declares ``F`` as the sharing-detection function.  With
+    ``sharing-detection off`` such guards describe hardware the machine
+    does not have.  ``has(S)``/``!has(S)`` atoms are *not* flagged:
+    they model reactions observed on the bus (a Dirty copy answering a
+    miss), which need no dedicated wire.
+    """
+    if ctx.dsl is None or ctx.spec.uses_sharing_detection:
+        return
+    for index, dsl_rule in enumerate(ctx.dsl._rules):
+        wired = sorted(
+            {kind for kind, _ in dsl_rule.guard.atoms if kind in ("any", "none")}
+        )
+        if wired:
+            yield ctx.diag(
+                "PL005",
+                Severity.ERROR,
+                f"guard uses {'/'.join(wired)!s} but sharing-detection is off "
+                "(enable it or rewrite the guard with has(...))",
+                ctx.rule_location(index),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL006 -- unsatisfiable supplier (DSL only)
+# ----------------------------------------------------------------------
+@rule("PL006", Severity.ERROR, "unsatisfiable-supplier",
+      "a selected rule loads or writes back from a copy its context lacks")
+def check_unsatisfiable_supplier(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A data clause whose supplier cannot exist when the rule fires.
+
+    ``load cache:S`` and ``writeback S`` promise a cache in state ``S``
+    supplies or flushes the block; if the probe sample selects the rule
+    in a context with no such copy, the promise is broken at runtime
+    (a ``DslError`` mid-verification).  The usual culprit is a missing
+    ``if has(S)`` guard or mis-ordered rules.
+    """
+    if ctx.dsl is None:
+        return
+    flagged: set[int] = set()
+    for entry in ctx.probes:
+        index = entry.rule_index
+        if index is None or index in flagged:
+            continue
+        dsl_rule = ctx.dsl._rules[index]
+        if dsl_rule.stalled:
+            continue
+        if (
+            dsl_rule.load is not None
+            and dsl_rule.load.kind == "cache"
+            and not any(entry.ctx.has(c) for c in dsl_rule.load.candidates)
+        ):
+            flagged.add(index)
+            yield ctx.diag(
+                "PL006",
+                Severity.ERROR,
+                f"rule loads from cache:"
+                f"{'|'.join(dsl_rule.load.candidates)} but is selected in "
+                f"context {_ctx_text(entry.ctx.present)} with no such copy "
+                "(guard it with 'if has(...)')",
+                ctx.rule_location(index),
+            )
+            continue
+        writeback = dsl_rule.writeback
+        if (
+            writeback is not None
+            and writeback in ctx.spec.states
+            and not entry.ctx.has(writeback)
+        ):
+            flagged.add(index)
+            yield ctx.diag(
+                "PL006",
+                Severity.ERROR,
+                f"rule writes back from {writeback} but is selected in "
+                f"context {_ctx_text(entry.ctx.present)} with no such copy "
+                "(guard it with 'if has(...)')",
+                ctx.rule_location(index),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL007 -- invalid observer
+# ----------------------------------------------------------------------
+@rule("PL007", Severity.ERROR, "invalid-observer",
+      "an observer reaction is keyed by, or targets, a non-valid state")
+def check_invalid_observer(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Observer maps that mention states outside the valid set.
+
+    A reaction keyed by the invalid state is meaningless (a cache with
+    no copy has nothing to snoop *from*), and one keyed by -- or moving
+    to -- an unknown symbol would corrupt the composite state.  The DSL
+    parser enforces this syntactically; the rule catches registry specs
+    whose ``react`` builds observer dictionaries dynamically.
+    """
+    spec = ctx.spec
+    seen: set[tuple[str, Op, str, str]] = set()
+    for entry in ctx.probes:
+        for obs, nxt, _updated in entry.observers:
+            key = (entry.state, entry.op, obs, nxt)
+            if key in seen:
+                continue
+            problem: str | None = None
+            if obs == spec.invalid:
+                problem = f"reaction keyed by the invalid state {obs!r}"
+            elif obs not in spec.states:
+                problem = f"reaction keyed by unknown state {obs!r}"
+            elif nxt not in spec.states:
+                problem = f"observer {obs} moves to unknown state {nxt!r}"
+            if problem is None:
+                continue
+            seen.add(key)
+            yield ctx.diag(
+                "PL007",
+                Severity.ERROR,
+                f"react({entry.state}, {entry.op.value}): {problem}",
+                _rule_or_symbolic(
+                    ctx,
+                    entry.rule_index,
+                    f"react({entry.state}, {entry.op.value})",
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL008 -- stall cycle heuristic
+# ----------------------------------------------------------------------
+@rule("PL008", Severity.WARNING, "stall-cycle",
+      "an operation stalls in a state with no non-stall exit path")
+def check_stall_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Deadlock smell, after Sethi et al.'s flow-based analysis.
+
+    If every probed context stalls operation *op* in state *s*, the
+    issuing processor can only make progress if *other* operations can
+    move the cache (or an observer reaction can move it) to a state
+    where *op* eventually completes.  When no such state is reachable
+    from *s*, the stall is permanent -- the static shadow of a
+    deadlock.  Heuristic: the probe sample under-approximates contexts,
+    so the rule warns rather than errors.
+    """
+    completes: set[tuple[str, Op]] = set()
+    always_stalls: set[tuple[str, Op]] = set()
+    for state, op in {(e.state, e.op) for e in ctx.probes}:
+        entries = ctx.probes_for(state, op)
+        if any(e.matched and not e.stalled for e in entries):
+            completes.add((state, op))
+        elif entries and all(e.stalled for e in entries):
+            always_stalls.add((state, op))
+    for state, op in sorted(always_stalls, key=lambda p: (p[0], p[1].value)):
+        escape = ctx.reachable_from(state)
+        if any((other, op) in completes for other in escape):
+            continue
+        location = ctx.symbolic(f"react({state}, {op.value})")
+        if ctx.dsl is not None:
+            stalling = [
+                r for r in ctx.dsl.rules_for(state, op) if r.stalled
+            ]
+            if stalling:
+                location = ctx.rule_location(ctx.dsl._rules.index(stalling[0]))
+        yield ctx.diag(
+            "PL008",
+            Severity.WARNING,
+            f"operation {op.value} always stalls in state {state} and no "
+            "reachable state completes it (possible deadlock)",
+            location,
+        )
+
+
+# ----------------------------------------------------------------------
+# PL009 -- no-op rule (DSL only)
+# ----------------------------------------------------------------------
+@rule("PL009", Severity.INFO, "no-op-rule",
+      "a guarded rule is a self-loop with no effects")
+def check_no_op_rule(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A guarded transition that changes nothing.
+
+    Unguarded self-loops are ordinary (a read hit stays put); a
+    *guarded* self-loop with no data clauses and no observers does
+    exactly what the fall-through rule would -- the guard is either
+    redundant or the author forgot the effect it was written to gate.
+    """
+    if ctx.dsl is None:
+        return
+    for index, dsl_rule in enumerate(ctx.dsl._rules):
+        if (
+            dsl_rule.guard.atoms
+            and not dsl_rule.stalled
+            and dsl_rule.next_state == dsl_rule.state
+            and dsl_rule.load is None
+            and dsl_rule.writeback is None
+            and not dsl_rule.write_through
+            and not dsl_rule.observers
+        ):
+            yield ctx.diag(
+                "PL009",
+                Severity.INFO,
+                f"guarded rule 'on {dsl_rule.state} {dsl_rule.op.value} if "
+                f"{dsl_rule.guard.text}' is a self-loop with no effects "
+                "(drop the guard or add the missing clauses)",
+                ctx.rule_location(index),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL010 -- dead rule (DSL only)
+# ----------------------------------------------------------------------
+@rule("PL010", Severity.WARNING, "dead-rule",
+      "a rule's operation is outside the alphabet or excluded by restrict")
+def check_dead_rule(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A rule that applicability filtering removes before matching.
+
+    ``operations`` narrows the alphabet and ``restrict`` narrows the
+    states an operation may be issued from; a rule for an excluded
+    combination compiles but can never fire.  Replacement rules for the
+    invalid state fall in the same bucket (nothing to replace).
+    """
+    if ctx.dsl is None:
+        return
+    for index, dsl_rule in enumerate(ctx.dsl._rules):
+        if dsl_rule.op not in ctx.spec.operations:
+            yield ctx.diag(
+                "PL010",
+                Severity.WARNING,
+                f"rule for operation {dsl_rule.op.value} is dead: the "
+                "operation is not in the declared alphabet",
+                ctx.rule_location(index),
+            )
+        elif not ctx.spec.applicable(dsl_rule.state, dsl_rule.op):
+            yield ctx.diag(
+                "PL010",
+                Severity.WARNING,
+                f"rule 'on {dsl_rule.state} {dsl_rule.op.value}' is dead: "
+                f"{dsl_rule.op.value} is not applicable from "
+                f"{dsl_rule.state} (restrict directive or replacement from "
+                "the invalid state)",
+                ctx.rule_location(index),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL011 -- unused sharing detection (DSL only)
+# ----------------------------------------------------------------------
+@rule("PL011", Severity.WARNING, "unused-sharing",
+      "sharing-detection is on but no guard reads the sharing line")
+def check_unused_sharing(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Declared hardware nobody consults.
+
+    ``sharing-detection on`` selects the non-null characteristic
+    function (paper Definition 5) -- extra hardware on the bus.  If no
+    guard ever reads the line (``any``/``none``), the declaration
+    changes verification results for no behavioural reason; the
+    protocol is really a null-F protocol.
+    """
+    if ctx.dsl is None or not ctx.spec.uses_sharing_detection:
+        return
+    for dsl_rule in ctx.dsl._rules:
+        if any(kind in ("any", "none") for kind, _ in dsl_rule.guard.atoms):
+            return
+    yield ctx.diag(
+        "PL011",
+        Severity.WARNING,
+        "sharing-detection is on but no guard uses any/none; declare "
+        "'sharing-detection off' unless the sharing line is intentional",
+        ctx.directive_location("sharing-detection"),
+    )

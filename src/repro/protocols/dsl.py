@@ -65,6 +65,7 @@ Example -- the complete Illinois protocol::
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from importlib import resources
 from pathlib import Path
@@ -86,11 +87,26 @@ from ..core.symbols import Op
 __all__ = [
     "DslError",
     "DslProtocol",
+    "Origin",
     "parse_protocol",
     "load_protocol",
     "load_builtin",
     "builtin_spec_names",
 ]
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Source position of one compiled DSL element (1-based)."""
+
+    line: int
+    col: int = 1
+
+
+#: Same-line lint suppression marker inside a ``#`` comment:
+#: ``# lint: ignore[PL005]`` (comma-separated ids) or a bare
+#: ``# lint: ignore`` silencing every rule on that line.
+_SUPPRESS_RE = re.compile(r"lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
 
 _OPS = {
     "R": Op.READ,
@@ -105,10 +121,18 @@ _OPS = {
 class DslError(Exception):
     """A syntax or semantic error in a protocol specification file."""
 
-    def __init__(self, message: str, line_no: int | None = None) -> None:
-        where = f"line {line_no}: " if line_no is not None else ""
+    def __init__(
+        self, message: str, line_no: int | None = None, col: int | None = None
+    ) -> None:
+        if line_no is not None and col is not None:
+            where = f"line {line_no}:{col}: "
+        elif line_no is not None:
+            where = f"line {line_no}: "
+        else:
+            where = ""
         super().__init__(f"{where}{message}")
         self.line_no = line_no
+        self.col = col
 
 
 # ----------------------------------------------------------------------
@@ -199,6 +223,12 @@ class _Rule:
     observers: tuple[tuple[str, str, bool], ...]  # (state, next, updated)
     line_no: int
     stalled: bool = False
+    col: int = 1
+
+    @property
+    def origin(self) -> Origin:
+        """Source position of the ``on`` directive that compiled to this."""
+        return Origin(self.line_no, self.col)
 
     def outcome(self, ctx: Ctx) -> Outcome:
         """Materialize this rule's outcome for the given context."""
@@ -216,7 +246,9 @@ class _Rule:
         )
 
 
-def _parse_rule(body: str, states: Sequence[str], invalid: str, line_no: int) -> _Rule:
+def _parse_rule(
+    body: str, states: Sequence[str], invalid: str, line_no: int, col: int = 1
+) -> _Rule:
     """Parse the text after ``on``."""
     if ";" in body:
         head, observer_text = body.split(";", 1)
@@ -261,6 +293,7 @@ def _parse_rule(body: str, states: Sequence[str], invalid: str, line_no: int) ->
             observers=(),
             line_no=line_no,
             stalled=True,
+            col=col,
         )
     next_state = tokens[0]
     if next_state not in states:
@@ -344,6 +377,7 @@ def _parse_rule(body: str, states: Sequence[str], invalid: str, line_no: int) ->
         write_through=write_through,
         observers=tuple(observers),
         line_no=line_no,
+        col=col,
     )
 
 
@@ -373,6 +407,11 @@ class DslProtocol(ProtocolSpec):
         source: str,
         operations: tuple[Op, ...] = (Op.READ, Op.WRITE, Op.REPLACE),
         restrictions: tuple[tuple[Op, str, frozenset[str]], ...] = (),
+        origins: dict[str, Origin] | None = None,
+        forbid_origins: tuple[Origin, ...] = (),
+        restrict_origins: tuple[Origin, ...] = (),
+        suppressions: dict[int, tuple[str, ...]] | None = None,
+        source_path: str | None = None,
     ) -> None:
         self.name = name
         self.full_name = full_name
@@ -387,6 +426,19 @@ class DslProtocol(ProtocolSpec):
         self._restrictions = restrictions
         #: The original specification text (round-trip/debugging).
         self.source = source
+        #: Source positions of the singleton directives, keyed by
+        #: directive name ("states", "invalid", "sharing-detection",
+        #: "owners", "operations", "protocol").
+        self.origins = origins or {}
+        #: Source positions aligned with :attr:`error_patterns`.
+        self.forbid_origins = forbid_origins
+        #: Source positions aligned with the restriction tuples.
+        self.restrict_origins = restrict_origins
+        #: ``# lint: ignore[...]`` markers: line number -> suppressed
+        #: rule ids (an empty tuple silences every rule on that line).
+        self.lint_suppressions = suppressions or {}
+        #: Path of the specification file, when loaded from one.
+        self.source_path = source_path
 
     def applicable(self, state: str, op: Op) -> bool:
         """Operation applicability; see :meth:`ProtocolSpec.applicable`."""
@@ -404,9 +456,16 @@ class DslProtocol(ProtocolSpec):
         for rule in self._rules:
             if rule.state == state and rule.op is op and rule.guard.evaluate(ctx):
                 return rule.outcome(ctx)
+        near = [r.line_no for r in self._rules if r.state == state and r.op is op]
+        hint = (
+            f" (guarded rules at line{'s' if len(near) > 1 else ''} "
+            f"{', '.join(map(str, near))} do not cover this context)"
+            if near
+            else ""
+        )
         raise ProtocolDefinitionError(
             f"{self.name}: no rule matches ({state}, {op.value}, "
-            f"present={sorted(ctx.present)})"
+            f"present={sorted(ctx.present)}){hint}"
         )
 
     def rules_for(self, state: str, op: Op) -> list[_Rule]:
@@ -414,7 +473,9 @@ class DslProtocol(ProtocolSpec):
         return [r for r in self._rules if r.state == state and r.op is op]
 
 
-def parse_protocol(text: str, *, default_name: str = "unnamed") -> DslProtocol:
+def parse_protocol(
+    text: str, *, default_name: str = "unnamed", source_path: str | None = None
+) -> DslProtocol:
     """Compile a protocol specification from its source text.
 
     Raises :class:`DslError` with a line number on the first problem.
@@ -429,16 +490,33 @@ def parse_protocol(text: str, *, default_name: str = "unnamed") -> DslProtocol:
     sharing = False
     owners: tuple[str, ...] = ()
     patterns: list[StatePattern] = []
-    pending_rules: list[tuple[int, str]] = []
+    pending_rules: list[tuple[int, int, str]] = []
     operations: tuple[Op, ...] = (Op.READ, Op.WRITE, Op.REPLACE)
     restrictions: list[tuple[Op, str, frozenset[str]]] = []
+    origins: dict[str, Origin] = {}
+    forbid_origins: list[Origin] = []
+    restrict_origins: list[Origin] = []
+    suppressions: dict[int, tuple[str, ...]] = {}
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
+        code, _, comment = raw.partition("#")
+        if comment:
+            marker = _SUPPRESS_RE.search(comment)
+            if marker:
+                suppressions[line_no] = tuple(
+                    part.strip()
+                    for part in (marker.group(1) or "").split(",")
+                    if part.strip()
+                )
+        line = code.strip()
         if not line:
             continue
+        col = len(code) - len(code.lstrip()) + 1
         directive, _, body = line.partition(" ")
         body = body.strip()
+        if directive in ("protocol", "states", "invalid", "sharing-detection",
+                         "owners", "operations", "title"):
+            origins[directive] = Origin(line_no, col)
         if directive == "protocol":
             if not body:
                 raise DslError("'protocol' needs a name", line_no)
@@ -462,8 +540,10 @@ def parse_protocol(text: str, *, default_name: str = "unnamed") -> DslProtocol:
             symbols = rest.split()
             if kind == "multiple" and len(symbols) == 1:
                 patterns.append(ForbidMultiple(symbols[0]))
+                forbid_origins.append(Origin(line_no, col))
             elif kind == "together" and len(symbols) == 2:
                 patterns.append(ForbidTogether(symbols[0], symbols[1]))
+                forbid_origins.append(Origin(line_no, col))
             else:
                 raise DslError(f"cannot parse forbid directive {body!r}", line_no)
         elif directive == "operations":
@@ -491,8 +571,9 @@ def parse_protocol(text: str, *, default_name: str = "unnamed") -> DslProtocol:
             restrictions.append(
                 (_OPS[parts[0].upper()], parts[1], frozenset(parts[2:]))
             )
+            restrict_origins.append(Origin(line_no, col))
         elif directive == "on":
-            pending_rules.append((line_no, body))
+            pending_rules.append((line_no, col, body))
         else:
             raise DslError(f"unknown directive {directive!r}", line_no)
 
@@ -515,8 +596,8 @@ def parse_protocol(text: str, *, default_name: str = "unnamed") -> DslProtocol:
                 raise DslError(f"forbid references unknown state {symbol!r}")
 
     rules = tuple(
-        _parse_rule(body, states, invalid, line_no)
-        for line_no, body in pending_rules
+        _parse_rule(body, states, invalid, line_no, col)
+        for line_no, col, body in pending_rules
     )
     if not rules:
         raise DslError("specification defines no transition rules")
@@ -538,13 +619,20 @@ def parse_protocol(text: str, *, default_name: str = "unnamed") -> DslProtocol:
         source=text,
         operations=operations,
         restrictions=tuple(restrictions),
+        origins=origins,
+        forbid_origins=tuple(forbid_origins),
+        restrict_origins=tuple(restrict_origins),
+        suppressions=suppressions,
+        source_path=source_path,
     )
 
 
 def load_protocol(path: str | Path) -> DslProtocol:
     """Parse **and validate** a protocol specification file."""
     text = Path(path).read_text(encoding="utf-8")
-    protocol = parse_protocol(text, default_name=Path(path).stem)
+    protocol = parse_protocol(
+        text, default_name=Path(path).stem, source_path=str(path)
+    )
     protocol.validate()
     return protocol
 
@@ -570,6 +658,8 @@ def load_builtin(name: str) -> DslProtocol:
     except FileNotFoundError:
         known = ", ".join(builtin_spec_names())
         raise KeyError(f"unknown builtin spec {name!r}; known: {known}") from None
-    protocol = parse_protocol(text, default_name=f"{name}-dsl")
+    protocol = parse_protocol(
+        text, default_name=f"{name}-dsl", source_path=str(candidate)
+    )
     protocol.validate()
     return protocol

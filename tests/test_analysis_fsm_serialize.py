@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.analysis.fsm import check_definition_1, local_fsm
 from repro.core.essential import explore
@@ -19,7 +18,6 @@ from repro.core.serialize import (
 from repro.core.symbols import DataValue, Op, SharingLevel
 from repro.protocols.illinois import IllinoisProtocol
 from repro.protocols.mutations import get_mutant
-from repro.protocols.registry import all_protocols
 from tests.helpers import build_state
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from tests.helpers import build_state
-from repro.core.composite import CompositeState, Label, make_state, parse_class_spec
+from repro.core.composite import Label, make_state, parse_class_spec
 from repro.core.operators import Rep
 from repro.core.symbols import DataValue, SharingLevel
 

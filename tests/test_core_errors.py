@@ -14,7 +14,7 @@ from repro.core.errors import (
     check_patterns,
     concrete_pattern_violations,
 )
-from repro.core.symbols import DataValue, SharingLevel
+from repro.core.symbols import DataValue
 
 F = DataValue.FRESH
 O = DataValue.OBSOLETE

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from tests.helpers import build_state
 from repro.core.covering import contains
 from repro.core.essential import (
     Disposition,
@@ -12,7 +11,6 @@ from repro.core.essential import (
     PruningMode,
     explore,
 )
-from repro.core.symbols import DataValue, SharingLevel
 from repro.protocols.illinois import IllinoisProtocol
 from repro.protocols.mutations import get_mutant
 from repro.protocols.msi import MsiProtocol

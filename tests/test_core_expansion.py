@@ -11,7 +11,6 @@ from repro.core.expansion import (
     _classify_interval,
     _intervals_intersect,
 )
-from repro.core.operators import Rep
 from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
 from repro.protocols.illinois import IllinoisProtocol
 

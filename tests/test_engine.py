@@ -18,7 +18,6 @@ import time
 import pytest
 
 from repro.core.serialize import result_to_dict, spec_to_dict
-from repro.core.symbols import Op
 from repro.core.verifier import verify
 from repro.engine import (
     ENGINE_VERSION,

@@ -8,7 +8,6 @@ expansion listing.
 
 from __future__ import annotations
 
-import pytest
 
 from tests.helpers import build_state
 from repro.core.essential import explore

@@ -24,7 +24,7 @@ from repro.core.operators import Rep
 from repro.enumeration.crossval import is_instance
 from repro.enumeration.exhaustive import Equivalence, enumerate_space
 from repro.enumeration.product import concrete_successors
-from repro.protocols.registry import all_protocols, protocol_names
+from repro.protocols.registry import protocol_names
 
 
 def reachable_composites(spec, augmented=True) -> list[CompositeState]:

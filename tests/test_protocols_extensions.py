@@ -8,7 +8,7 @@ from repro.core.covering import contains
 from repro.core.essential import explore
 from repro.core.expansion import SymbolicExpander
 from repro.core.reactions import Ctx, Outcome, stall
-from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
+from repro.core.symbols import CountCase, Op
 from repro.enumeration.crossval import cross_validate
 from repro.enumeration.exhaustive import enumerate_space
 from repro.protocols.lock_msi import LockMsiProtocol

@@ -7,11 +7,10 @@ updated, and which global states the symbolic expansion reports.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.essential import explore
 from repro.core.reactions import Ctx, INITIATOR, MEMORY
-from repro.core.symbols import CountCase, DataValue, Op, SharingLevel
+from repro.core.symbols import CountCase, DataValue, Op
 from repro.protocols.berkeley import BerkeleyProtocol
 from repro.protocols.illinois import IllinoisProtocol
 from repro.protocols.msi import MsiProtocol

@@ -8,7 +8,6 @@ from repro.core.errors import ErrorKind
 from repro.core.essential import explore
 from repro.core.reactions import Ctx
 from repro.core.symbols import CountCase, Op
-from repro.protocols.illinois import IllinoisProtocol
 from repro.protocols.mutations import (
     MUTATIONS,
     MutatedProtocol,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.symbols import Op
 from repro.protocols.berkeley import BerkeleyProtocol
 from repro.protocols.dragon import DragonProtocol
 from repro.protocols.illinois import IllinoisProtocol
@@ -155,7 +154,7 @@ class TestBasicCoherence:
         v = system.write(0, 0)
         assert system.caches[0].state_of(0) == "Reserved"
         assert system.memory.peek(0) == v
-        v2 = system.write(0, 0)
+        system.write(0, 0)
         assert system.caches[0].state_of(0) == "Dirty"
         assert system.memory.peek(0) == v  # second write stays local
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import main
-from repro.simulator.trace import Access, AccessKind, Trace
+from repro.simulator.trace import Access, AccessKind
 from repro.simulator.traceio import dumps, load_trace, loads, save_trace
 from repro.simulator.workloads import locking, make_workload
 
