@@ -27,13 +27,20 @@ PAPER_ESSENTIAL_STRUCTURES = {
 }
 
 
-def test_fig4_illinois_expansion(benchmark, emit):
+def test_fig4_illinois_expansion(benchmark, emit, bench_core):
     result = benchmark(lambda: explore(IllinoisProtocol()))
 
     assert result.ok
     assert {
         s.pretty(annotations=False) for s in result.essential
     } == PAPER_ESSENTIAL_STRUCTURES
+    bench_core(
+        "fig4_illinois",
+        "illinois",
+        visits=result.stats.visits,
+        essential=len(result.essential),
+        benchmark=benchmark,
+    )
 
     emit(
         "E1 -- Figure 4 (Illinois global transition diagram)\n"
@@ -44,8 +51,15 @@ def test_fig4_illinois_expansion(benchmark, emit):
     )
 
 
-def test_fig4_structural_expansion(benchmark):
+def test_fig4_structural_expansion(benchmark, bench_core):
     """The bare-FSM expansion of Section 3 (no context variables)."""
     result = benchmark(lambda: explore(IllinoisProtocol(), augmented=False))
     assert result.ok
     assert len(result.essential) == 5
+    bench_core(
+        "fig4_illinois_structural",
+        "illinois",
+        visits=result.stats.visits,
+        essential=len(result.essential),
+        benchmark=benchmark,
+    )

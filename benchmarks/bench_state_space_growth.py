@@ -28,7 +28,7 @@ from repro.protocols.illinois import IllinoisProtocol
 NS = (1, 2, 3, 4, 5, 6, 7)
 
 
-def test_growth_table(benchmark, emit):
+def test_growth_table(benchmark, emit, bench_core):
     spec = IllinoisProtocol()
     m, k = len(spec.states), len(spec.operations)
     symbolic = explore(spec)
@@ -40,6 +40,20 @@ def test_growth_table(benchmark, emit):
             strict = enumerate_space(spec, n)
             counting = enumerate_space(spec, n, equivalence=Equivalence.COUNTING)
             strict_visits.append(strict.stats.visits)
+            bench_core(
+                "state_space_growth_strict",
+                spec.name,
+                n=n,
+                visits=strict.stats.visits,
+                seconds=strict.stats.elapsed,
+            )
+            bench_core(
+                "state_space_growth_counting",
+                spec.name,
+                n=n,
+                visits=counting.stats.visits,
+                seconds=counting.stats.elapsed,
+            )
             rows.append(
                 [
                     n,
@@ -81,6 +95,14 @@ def test_growth_table(benchmark, emit):
     assert fit.exponential and fit.base > 1.5
     assert strict_visits == sorted(strict_visits)
     assert strict_visits[-1] > 50 * symbolic.stats.visits
+
+    bench_core(
+        "state_space_growth_symbolic",
+        spec.name,
+        visits=symbolic.stats.visits,
+        essential=len(symbolic.essential),
+        seconds=symbolic.stats.elapsed,
+    )
 
 
 @pytest.mark.parametrize("n", [3, 5])

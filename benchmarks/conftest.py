@@ -6,11 +6,32 @@ listing the paper reports*, so ``pytest benchmarks/ --benchmark-only``
 regenerates every artifact of the evaluation.  The ``emit`` fixture
 prints through pytest's capture so the tables appear live in the run
 log.
+
+The ``bench_core`` fixture additionally records machine-readable
+headline numbers into ``BENCH_CORE.json`` at the repository root: one
+entry per ``(bench, protocol, n)``, merged into whatever the file
+already holds so partial benchmark runs never wipe other benches'
+numbers.  The file is the stable interface for dashboards and for
+cross-PR performance comparisons.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Any
+
 import pytest
+
+#: Where the machine-readable headline numbers live (repo root).
+BENCH_CORE_PATH = Path(__file__).resolve().parent.parent / "BENCH_CORE.json"
+
+#: Schema identifier stamped into the file (bump on shape changes).
+BENCH_CORE_SCHEMA = "repro-bench-core/1"
+
+#: Entries recorded by this pytest session (merged into the file at
+#: session end).
+_recorded: list[dict[str, Any]] = []
 
 
 @pytest.fixture
@@ -22,3 +43,82 @@ def emit(capsys):
             print("\n" + text, flush=True)
 
     return _emit
+
+
+@pytest.fixture
+def bench_core():
+    """Record one BENCH_CORE.json entry.
+
+    Call with the headline numbers of the bench::
+
+        bench_core("fig4_illinois", "illinois",
+                   visits=23, essential=5, seconds=0.004)
+
+    ``n`` is the cache count for n-dependent benches (``None`` for the
+    symbolic expansion, whose cost is n-independent); ``seconds`` is
+    the mean wall time in seconds -- pass ``benchmark=benchmark`` to
+    take it from a completed pytest-benchmark run, or ``None`` when
+    the bench only counts work.
+    """
+
+    def _record(
+        bench: str,
+        protocol: str,
+        *,
+        n: int | None = None,
+        visits: int | None = None,
+        essential: int | None = None,
+        seconds: float | None = None,
+        benchmark: Any = None,
+    ) -> None:
+        if seconds is None and benchmark is not None:
+            seconds = benchmark_mean(benchmark)
+        _recorded.append(
+            {
+                "bench": bench,
+                "protocol": protocol,
+                "n": n,
+                "visits": visits,
+                "essential": essential,
+                "seconds": round(seconds, 6) if seconds is not None else None,
+            }
+        )
+
+    return _record
+
+
+def benchmark_mean(benchmark) -> float | None:
+    """Mean seconds of a completed pytest-benchmark run, if it has one.
+
+    ``--benchmark-disable`` (and plugin-less runs) leave no stats; the
+    bench then records ``None`` rather than failing.
+    """
+    try:
+        return float(benchmark.stats.stats.mean)
+    except (AttributeError, TypeError):
+        return None
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    """Merge this session's entries into BENCH_CORE.json."""
+    if not _recorded:
+        return
+    merged: dict[tuple[str, str, int | None], dict[str, Any]] = {}
+    try:
+        existing = json.loads(BENCH_CORE_PATH.read_text(encoding="utf-8"))
+        for entry in existing.get("entries", []):
+            merged[(entry["bench"], entry["protocol"], entry.get("n"))] = entry
+    except (OSError, ValueError, KeyError, TypeError):
+        pass  # first run, or an unreadable file we simply rewrite
+    for entry in _recorded:
+        merged[(entry["bench"], entry["protocol"], entry["n"])] = entry
+    document = {
+        "schema": BENCH_CORE_SCHEMA,
+        "entries": sorted(
+            merged.values(),
+            key=lambda e: (e["bench"], e["protocol"], e["n"] if e["n"] is not None else -1),
+        ),
+    }
+    BENCH_CORE_PATH.write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -14,6 +14,15 @@ Quickstart::
 
     report = verify("illinois")
     print(report.render())
+
+Profiling a verification (see ``docs/OBSERVABILITY.md``)::
+
+    from repro import Collector, use_collector, verify
+
+    collector = Collector("illinois")
+    with use_collector(collector):
+        verify("illinois")
+    print(collector.span_totals())
 """
 
 from .core import (
@@ -31,12 +40,14 @@ from .core import (
 )
 from .engine import BatchReport, ResultCache, RunJournal, VerificationJob, run_batch
 from .lint import LintError, LintReport, lint_all, lint_spec
+from .obs import Collector, render_report, use_collector
 from .protocols import all_protocols, get_protocol, protocol_names
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchReport",
+    "Collector",
     "CompositeState",
     "DataValue",
     "ExpansionResult",
@@ -58,6 +69,8 @@ __all__ = [
     "lint_all",
     "lint_spec",
     "protocol_names",
+    "render_report",
     "run_batch",
+    "use_collector",
     "verify",
 ]

@@ -9,6 +9,9 @@ Subcommands cover the full workflow a protocol designer would use:
   engine: parallel verification with result caching and a run journal;
 * ``repro lint --all`` -- the static protocol analyzer: PLxxx rules
   over specs without running expansion (text/JSON/SARIF output);
+* ``repro profile illinois`` -- verify under ``repro.obs``
+  instrumentation: per-phase spans and counters as a text report plus
+  a Chrome-trace / JSON / Prometheus export;
 * ``repro mutants illinois`` -- verify every injected-bug variant;
 * ``repro enumerate illinois -n 4`` -- the explicit Figure 2 baseline;
 * ``repro crossval illinois`` -- the Theorem 1 completeness check;
@@ -37,6 +40,7 @@ from .core.serialize import result_to_json
 from .core.verifier import verify
 from .enumeration.crossval import cross_validate
 from .enumeration.exhaustive import Equivalence, enumerate_space
+from .obs import EXPORT_EXTENSIONS, EXPORTERS
 from .protocols.dsl import DslError, load_protocol, parse_protocol
 from .protocols.perturb import criticality_profile
 from .protocols.mutations import MUTATIONS, get_mutant, mutants_for
@@ -227,6 +231,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.strict:
         failing += sum(r.warnings for r in reports)
     return EXIT_VIOLATION if failing else EXIT_OK
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .engine import RunJournal, VerificationJob, run_batch
+    from .obs import Collector, render_report, use_collector
+
+    jobs: list[VerificationJob] = []
+    names: list[str] = []
+    for name in args.protocol:
+        if name == "all":
+            names.extend(protocol_names())
+        else:
+            names.append(name)
+    for name in dict.fromkeys(names):  # dedupe, keep order
+        [spec] = resolve_specs(name)  # raises KeyError for unknown names
+        jobs.append(
+            VerificationJob(
+                protocol=name,
+                mutant=args.mutant,
+                augmented=not args.structural,
+                validate_spec=args.mutant is None,
+            )
+        )
+        if args.mutants:
+            for mutant in mutants_for(spec):
+                jobs.append(
+                    VerificationJob(
+                        protocol=name,
+                        mutant=mutant.mutation.key,
+                        augmented=not args.structural,
+                    )
+                )
+    for path in args.spec_file:
+        jobs.append(VerificationJob(spec_file=path, augmented=not args.structural))
+    if not jobs:
+        raise ValueError(
+            "nothing to profile: give protocol names, 'all' or --spec-file"
+        )
+
+    label = jobs[0].label if len(jobs) == 1 else f"batch-{len(jobs)}"
+    collector = Collector(label)
+    # Serial, cache-less, in-process: every expansion span lands in
+    # this collector instead of a worker's (parallel workers would
+    # keep their spans to themselves) and nothing short-circuits the
+    # work being measured.
+    with use_collector(collector), collector.span("profile", jobs=len(jobs)):
+        report = run_batch(jobs, workers=1, cache=None, journal=RunJournal())
+
+    output = args.output or f"profile-{label}{EXPORT_EXTENSIONS[args.format]}"
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(EXPORTERS[args.format](collector))
+    text = render_report(collector, title=f"repro profile -- {label}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    print()
+    print(report.counts_line())
+    print(f"{args.format} export written to {output}")
+    return report.exit_code
 
 
 def _cmd_mutants(args: argparse.Namespace) -> int:
@@ -553,6 +617,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report here instead of stdout",
     )
 
+    p = sub.add_parser(
+        "profile",
+        help="verify under instrumentation; write a report + trace file",
+        description="Run protocols (or DSL specs) through the verification "
+        "pipeline with repro.obs instrumentation enabled: spans around "
+        "expansion, pruning, witness search and engine phases, plus "
+        "visit/prune/cache counters.  Prints a text report and writes "
+        "the full trace in the chosen export format (chrome-trace "
+        "output loads in Perfetto / chrome://tracing).",
+    )
+    p.add_argument(
+        "protocol",
+        nargs="*",
+        default=[],
+        help="protocol names or 'all'",
+    )
+    p.add_argument(
+        "--spec-file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="additionally profile a DSL specification (repeatable)",
+    )
+    p.add_argument("--mutant", choices=sorted(MUTATIONS), help="inject a bug first")
+    p.add_argument(
+        "--mutants",
+        action="store_true",
+        help="also profile every applicable injected-bug mutant",
+    )
+    p.add_argument("--structural", action="store_true", help="skip context variables")
+    p.add_argument(
+        "--format",
+        choices=sorted(EXPORTERS),
+        default="chrome-trace",
+        help="trace export format (default: chrome-trace)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="trace file path (default: profile-<label> with the "
+        "format's conventional extension)",
+    )
+    p.add_argument(
+        "--report",
+        metavar="FILE",
+        help="also write the text report to this file",
+    )
+
     p = sub.add_parser("mutants", help="verify every injected-bug variant")
     p.add_argument("protocol", help="protocol name or 'all'")
     p.add_argument(
@@ -626,6 +739,7 @@ _HANDLERS = {
     "verify": _cmd_verify,
     "batch": _cmd_batch,
     "lint": _cmd_lint,
+    "profile": _cmd_profile,
     "mutants": _cmd_mutants,
     "enumerate": _cmd_enumerate,
     "crossval": _cmd_crossval,

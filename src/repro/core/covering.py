@@ -17,6 +17,8 @@ successor of ``S2``.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from .composite import CompositeState
 from .operators import Rep, leq
 
@@ -24,7 +26,25 @@ __all__ = [
     "structurally_covers",
     "contains",
     "is_essential_among",
+    "set_probe",
 ]
+
+#: Optional observability probe called with every ``contains`` outcome.
+#: Installed by instrumented runs (see :func:`repro.core.essential.explore`
+#: and :mod:`repro.obs`); the single ``None`` check below is the entire
+#: cost on the uninstrumented hot path.
+_PROBE: Callable[[bool], None] | None = None
+
+
+def set_probe(probe: Callable[[bool], None] | None) -> None:
+    """Install (or, with ``None``, remove) the containment probe.
+
+    The probe receives the boolean outcome of every :func:`contains`
+    call.  It is process-global, so instrumented expansions are not
+    re-entrant across threads; callers must clear it when done.
+    """
+    global _PROBE
+    _PROBE = probe
 
 
 def structurally_covers(small: CompositeState, big: CompositeState) -> bool:
@@ -75,11 +95,14 @@ def contains(small: CompositeState, big: CompositeState) -> bool:
     sharing level (the value of the sharing-detection ``F``) and the
     memory context variable ``mdata``.
     """
-    if small.sharing != big.sharing:
-        return False
-    if small.mdata != big.mdata:
-        return False
-    return structurally_covers(small, big)
+    outcome = (
+        small.sharing == big.sharing
+        and small.mdata == big.mdata
+        and structurally_covers(small, big)
+    )
+    if _PROBE is not None:
+        _PROBE(outcome)
+    return outcome
 
 
 def is_essential_among(

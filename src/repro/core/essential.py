@@ -26,10 +26,12 @@ E8 can quantify the value of containment over exact-duplicate detection.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs import active as _active_collector
+from ..obs import clock
+from . import covering
 from .composite import CompositeState
 from .covering import contains
 from .errors import (
@@ -217,7 +219,21 @@ def explore(
     """
     expander = SymbolicExpander(spec, augmented=augmented)
     stats = ExpansionStats()
-    started = time.perf_counter()
+    started = clock.monotonic()
+
+    # Observability: `coll` is None on uninstrumented runs, and every
+    # instrumentation site below hides behind that one local check --
+    # the disabled path stays as hot as it ever was.
+    coll = _active_collector()
+    if coll is not None:
+        root_span = coll.span(
+            "expand",
+            protocol=spec.name,
+            pruning=pruning.value,
+            augmented=augmented,
+        )
+        root_span.__enter__()
+        prune_span = f"prune.{pruning.value}"
 
     initial = expander.initial_state()
     working: list[CompositeState] = [initial]
@@ -245,99 +261,132 @@ def explore(
     record_error(initial)
 
     stop = False
-    while working and not stop:
-        stats.max_worklist = max(stats.max_worklist, len(working))
-        current = working.pop(0)
-        stats.expanded += 1
-        discard_current = False
-
-        for transition in expander.successors(current):
-            stats.visits += 1
-            if stats.visits > max_visits:
-                raise ExpansionLimitError(
-                    f"{spec.name}: exceeded {max_visits} state visits "
-                    f"(pruning={pruning.value})"
+    try:
+        if coll is not None:
+            covering.set_probe(
+                lambda hit: coll.count(
+                    "covering.contains.hits" if hit else "covering.contains.misses"
                 )
-            target = transition.target
-            if target not in discovery:
-                discovery[target] = (current, str(transition.label))
+            )
+        while working and not stop:
+            stats.max_worklist = max(stats.max_worklist, len(working))
+            current = working.pop(0)
+            stats.expanded += 1
+            discard_current = False
+            if coll is not None:
+                coll.observe("expand.worklist.depth", len(working) + 1)
+                step_span = coll.span("expand.step", worklist=len(working) + 1)
+                step_span.__enter__()
 
-            if record_error(target) and stop_on_error:
-                stop = True
+            for transition in expander.successors(current):
+                stats.visits += 1
+                if stats.visits > max_visits:
+                    raise ExpansionLimitError(
+                        f"{spec.name}: exceeded {max_visits} state visits "
+                        f"(pruning={pruning.value})"
+                    )
+                target = transition.target
+                if target not in discovery:
+                    discovery[target] = (current, str(transition.label))
 
-            if pruning is PruningMode.CONTAINMENT:
-                if (
-                    contains(target, current)
-                    or any(contains(target, p) for p in working)
-                    or any(contains(target, q) for q in visited)
-                ):
-                    stats.discarded_contained += 1
-                    disposition = (
-                        Disposition.DUPLICATE
-                        if target == current
-                        or target in working
-                        or target in visited
-                        else Disposition.CONTAINED
+                if coll is not None:
+                    witness_started = coll.now()
+                if record_error(target) and stop_on_error:
+                    stop = True
+                if coll is not None:
+                    coll.add_span("witness.check", witness_started)
+                    prune_started = coll.now()
+
+                if pruning is PruningMode.CONTAINMENT:
+                    if (
+                        contains(target, current)
+                        or any(contains(target, p) for p in working)
+                        or any(contains(target, q) for q in visited)
+                    ):
+                        stats.discarded_contained += 1
+                        disposition = (
+                            Disposition.DUPLICATE
+                            if target == current
+                            or target in working
+                            or target in visited
+                            else Disposition.CONTAINED
+                        )
+                    else:
+                        before = len(working) + len(visited)
+                        working = [p for p in working if not contains(p, target)]
+                        visited = [q for q in visited if not contains(q, target)]
+                        removed = before - len(working) - len(visited)
+                        stats.removed_superseded += removed
+                        working.append(target)
+                        if on_state is not None:
+                            on_state(target)
+                        disposition = (
+                            Disposition.SUPERSEDES if removed else Disposition.NEW
+                        )
+                        if contains(current, target):
+                            # Figure 3: "if (A ⊆ A') then discard A and
+                            # terminate all FOR loops starting a new run."
+                            discard_current = True
+                else:  # PruningMode.DUPLICATES
+                    if target == current or target in working or target in visited:
+                        stats.duplicates += 1
+                        disposition = Disposition.DUPLICATE
+                    else:
+                        working.append(target)
+                        if on_state is not None:
+                            on_state(target)
+                        disposition = Disposition.NEW
+                if coll is not None:
+                    coll.add_span(
+                        prune_span, prune_started, disposition=disposition.value
                     )
-                else:
-                    before = len(working) + len(visited)
-                    working = [p for p in working if not contains(p, target)]
-                    visited = [q for q in visited if not contains(q, target)]
-                    removed = before - len(working) - len(visited)
-                    stats.removed_superseded += removed
-                    working.append(target)
-                    if on_state is not None:
-                        on_state(target)
-                    disposition = (
-                        Disposition.SUPERSEDES if removed else Disposition.NEW
-                    )
-                    if contains(current, target):
-                        # Figure 3: "if (A ⊆ A') then discard A and
-                        # terminate all FOR loops starting a new run."
-                        discard_current = True
                 if keep_trace:
                     trace.append(
                         TraceEntry(current, str(transition.label), target, disposition)
                     )
-                if discard_current:
+                if discard_current or stop:
                     break
-            else:  # PruningMode.DUPLICATES
-                if target == current or target in working or target in visited:
-                    stats.duplicates += 1
-                    disposition = Disposition.DUPLICATE
-                else:
-                    working.append(target)
-                    if on_state is not None:
-                        on_state(target)
-                    disposition = Disposition.NEW
-                if keep_trace:
-                    trace.append(
-                        TraceEntry(current, str(transition.label), target, disposition)
-                    )
-            if stop:
-                break
 
-        if not discard_current and not stop:
-            # (On an early stop the current state is only partially
-            # expanded, so it must not masquerade as essential.)
-            visited.append(current)
+            if coll is not None:
+                step_span.__exit__(None, None, None)
+            if not discard_current and not stop:
+                # (On an early stop the current state is only partially
+                # expanded, so it must not masquerade as essential.)
+                visited.append(current)
 
-    stats.scenarios = expander.scenarios_evaluated
-    essential = tuple(visited)
+        stats.scenarios = expander.scenarios_evaluated
+        essential = tuple(visited)
 
-    # Final pass: edges of the global transition diagram between the
-    # essential states (every successor of an essential state is, by the
-    # pruning invariant, contained in some essential state).
-    edges: dict[tuple[CompositeState, str, CompositeState], SymbolicTransition] = {}
-    if not stop:
-        for source in essential:
-            for transition in expander.successors(source):
-                home = _essential_home(transition.target, essential, pruning)
-                key = (source, str(transition.label), home)
-                if key not in edges:
-                    edges[key] = SymbolicTransition(source, transition.label, home)
+        # Final pass: edges of the global transition diagram between the
+        # essential states (every successor of an essential state is, by
+        # the pruning invariant, contained in some essential state).
+        if coll is not None:
+            edges_started = coll.now()
+        edges: dict[tuple[CompositeState, str, CompositeState], SymbolicTransition] = {}
+        if not stop:
+            for source in essential:
+                for transition in expander.successors(source):
+                    home = _essential_home(transition.target, essential, pruning)
+                    key = (source, str(transition.label), home)
+                    if key not in edges:
+                        edges[key] = SymbolicTransition(source, transition.label, home)
+        if coll is not None:
+            coll.add_span("expand.edges", edges_started, transitions=len(edges))
+    finally:
+        if coll is not None:
+            covering.set_probe(None)
+            root_span.__exit__(None, None, None)
 
-    stats.elapsed = time.perf_counter() - started
+    stats.elapsed = clock.monotonic() - started
+    if coll is not None:
+        coll.count("expand.visits", stats.visits)
+        coll.count("expand.expanded", stats.expanded)
+        coll.count("expand.pruned.contained", stats.discarded_contained)
+        coll.count("expand.pruned.superseded", stats.removed_superseded)
+        coll.count("expand.pruned.duplicate", stats.duplicates)
+        coll.count("expand.scenarios", stats.scenarios)
+        coll.gauge("expand.worklist.peak", stats.max_worklist)
+        root_span.set(essential=len(essential), visits=stats.visits)
     return ExpansionResult(
         spec=spec,
         augmented=augmented,

@@ -16,10 +16,12 @@ renders the end-of-run summary table.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..obs import NOOP_SPAN
+from ..obs import active as _active_collector
+from ..obs import clock
 from ..analysis.reporting import batch_summary_table, lint_table
 from .cache import ResultCache
 from .fingerprint import ENGINE_VERSION, spec_fingerprint
@@ -37,6 +39,12 @@ class BatchReport:
     results: list[JobResult]
     wall: float
     journal: RunJournal = field(default_factory=RunJournal)
+    #: Result-cache lookup totals for this run (``None`` when the run
+    #: had no cache).  Unlike :attr:`cache_hits`, these come straight
+    #: from :class:`~repro.engine.cache.ResultCache` and so also count
+    #: corrupted entries rewritten as misses.
+    cache_lookup_hits: int | None = None
+    cache_lookup_misses: int | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -137,7 +145,10 @@ class BatchReport:
         )
         if self.rejected:
             line += f" ({self.rejected} rejected by preflight)"
-        line += f"; {self.cache_hits} cache hits; wall {self.wall:.2f}s"
+        line += f"; {self.cache_hits} cache hits"
+        if self.cache_lookup_misses is not None:
+            line += f" / {self.cache_lookup_misses} misses"
+        line += f"; wall {self.wall:.2f}s"
         return line
 
 
@@ -186,7 +197,18 @@ def run_batch(
     jobs = list(jobs)
     if journal is None:
         journal = RunJournal()
-    started = time.perf_counter()
+    started = clock.monotonic()
+    coll = _active_collector()
+    if coll is not None:
+        coll.count("engine.jobs", len(jobs))
+        # Touch the cache counters so profile reports always show them,
+        # even for cache-less (or all-miss) runs; ResultCache.get does
+        # the actual per-lookup counting.
+        coll.count("engine.cache.hits", 0)
+        coll.count("engine.cache.misses", 0)
+    cache_hits_before, cache_misses_before = (
+        (cache.hits, cache.misses) if cache is not None else (0, 0)
+    )
     journal.emit(
         "run_start",
         jobs=len(jobs),
@@ -202,55 +224,61 @@ def run_batch(
     lint_findings: dict[int, list[dict[str, Any]]] = {}
     to_run: list[int] = []
 
-    for i, job in enumerate(jobs):
-        mode = preflight if preflight is not None else job.preflight
-        if mode != "off":
+    with coll.span("batch.admit", jobs=len(jobs)) if coll is not None else NOOP_SPAN:
+        for i, job in enumerate(jobs):
+            mode = preflight if preflight is not None else job.preflight
+            if mode != "off":
+                try:
+                    rejected = _preflight(journal, job, mode, lint_findings, i)
+                except Exception as exc:  # noqa: BLE001 - spec errors are data
+                    error = f"{type(exc).__name__}: {exc}"
+                    results[i] = JobResult(job, JobStatus.ERROR, error=error)
+                    journal.emit("job_start", job=job.label, fingerprint=None)
+                    _finish(journal, results[i])
+                    continue
+                if rejected is not None:
+                    results[i] = rejected
+                    journal.emit("job_start", job=job.label, fingerprint=None)
+                    _finish(journal, rejected)
+                    continue
             try:
-                rejected = _preflight(journal, job, mode, lint_findings, i)
-            except Exception as exc:  # noqa: BLE001 - spec errors are data
+                fingerprint = spec_fingerprint(job.resolve_spec())
+            except Exception as exc:  # noqa: BLE001 - spec errors are data here
                 error = f"{type(exc).__name__}: {exc}"
-                results[i] = JobResult(job, JobStatus.ERROR, error=error)
+                results[i] = JobResult(
+                    job, JobStatus.ERROR, error=error, lint=lint_findings.get(i)
+                )
                 journal.emit("job_start", job=job.label, fingerprint=None)
                 _finish(journal, results[i])
                 continue
-            if rejected is not None:
-                results[i] = rejected
-                journal.emit("job_start", job=job.label, fingerprint=None)
-                _finish(journal, rejected)
-                continue
-        try:
-            fingerprint = spec_fingerprint(job.resolve_spec())
-        except Exception as exc:  # noqa: BLE001 - spec errors are data here
-            error = f"{type(exc).__name__}: {exc}"
-            results[i] = JobResult(
-                job, JobStatus.ERROR, error=error, lint=lint_findings.get(i)
-            )
-            journal.emit("job_start", job=job.label, fingerprint=None)
-            _finish(journal, results[i])
-            continue
-        journal.emit("job_start", job=job.label, fingerprint=fingerprint)
-        fingerprints[i] = fingerprint
-        if cache is not None:
-            hit = cache.get(fingerprint, job)
-            if hit is not None:
-                hit.lint = lint_findings.get(i)
-                results[i] = hit
-                journal.emit(
-                    "cache_hit",
-                    job=job.label,
-                    key=cache.key_for(fingerprint, job),
-                )
-                _finish(journal, hit)
-                continue
-        to_run.append(i)
+            journal.emit("job_start", job=job.label, fingerprint=fingerprint)
+            fingerprints[i] = fingerprint
+            if cache is not None:
+                hit = cache.get(fingerprint, job)
+                if hit is not None:
+                    hit.lint = lint_findings.get(i)
+                    results[i] = hit
+                    journal.emit(
+                        "cache_hit",
+                        job=job.label,
+                        key=cache.key_for(fingerprint, job),
+                    )
+                    _finish(journal, hit)
+                    continue
+            to_run.append(i)
 
     if to_run:
         if runner is None:
             runner = make_runner(workers=workers, timeout=timeout, retries=retries)
-        fresh = runner.run(
-            [jobs[i] for i in to_run],
-            on_event=lambda event, fields: journal.emit(event, **fields),
-        )
+        with (
+            coll.span("batch.dispatch", jobs=len(to_run))
+            if coll is not None
+            else NOOP_SPAN
+        ):
+            fresh = runner.run(
+                [jobs[i] for i in to_run],
+                on_event=lambda event, fields: journal.emit(event, **fields),
+            )
         for i, result in zip(to_run, fresh):
             result.fingerprint = fingerprints[i]
             result.lint = lint_findings.get(i)
@@ -261,8 +289,11 @@ def run_batch(
 
     final = [r for r in results if r is not None]
     assert len(final) == len(jobs)
-    wall = time.perf_counter() - started
+    wall = clock.monotonic() - started
     report = BatchReport(results=final, wall=wall, journal=journal)
+    if cache is not None:
+        report.cache_lookup_hits = cache.hits - cache_hits_before
+        report.cache_lookup_misses = cache.misses - cache_misses_before
     journal.emit(
         "run_end",
         jobs=len(jobs),
@@ -271,7 +302,18 @@ def run_batch(
         errors=report.errors,
         rejected=report.rejected,
         cache_hits=report.cache_hits,
+        cache_lookups=(
+            {
+                "hits": report.cache_lookup_hits,
+                "misses": report.cache_lookup_misses,
+            }
+            if cache is not None
+            else None
+        ),
         wall=round(wall, 4),
+        # Self-profiling runs (an active repro.obs collector) stamp the
+        # run's metric totals into the journal's final event.
+        metrics=coll.metrics_snapshot() if coll is not None else None,
     )
     return report
 

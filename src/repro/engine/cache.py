@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from ..obs import active as _active_collector
 from .fingerprint import ENGINE_VERSION, job_key
 from .job import JobResult, JobStatus, VerificationJob
 
@@ -66,6 +67,7 @@ class ResultCache:
         """
         key = self.key_for(fingerprint, job)
         path = self._path(key)
+        coll = _active_collector()
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
             status = record["status"]
@@ -74,8 +76,12 @@ class ResultCache:
                 raise ValueError("malformed cache entry")
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            if coll is not None:
+                coll.count("engine.cache.misses")
             return None
         self.hits += 1
+        if coll is not None:
+            coll.count("engine.cache.hits")
         return JobResult(
             job,
             status,

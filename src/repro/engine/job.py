@@ -15,11 +15,11 @@ the same :class:`JobResult` shape, whose ``payload`` is exactly
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..obs import clock
 from ..core.essential import PruningMode
 from ..core.protocol import ProtocolSpec
 from ..core.serialize import result_to_dict
@@ -198,7 +198,7 @@ def execute_job(job: VerificationJob) -> JobResult:
     sweep (the parallel runner additionally guards against crashes and
     hangs at the process level).
     """
-    started = time.perf_counter()
+    started = clock.monotonic()
     try:
         spec = job.resolve_spec()
         report = verify(
@@ -213,12 +213,12 @@ def execute_job(job: VerificationJob) -> JobResult:
             job,
             status,
             payload=result_to_dict(report.result),
-            elapsed=time.perf_counter() - started,
+            elapsed=clock.monotonic() - started,
         )
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         return JobResult(
             job,
             JobStatus.ERROR,
             error=f"{type(exc).__name__}: {exc}",
-            elapsed=time.perf_counter() - started,
+            elapsed=clock.monotonic() - started,
         )

@@ -24,16 +24,25 @@ job_timeout job, attempt, timeout
 job_crash  job, attempt, exitcode
 job_finish job, status, ok, cached, attempts, elapsed, visits, expanded,
            essential, error
-run_end    jobs, verified, violations, errors, rejected, cache_hits, wall
+run_end    jobs, verified, violations, errors, rejected, cache_hits,
+           cache_lookups ({hits, misses} from the result cache, or null
+           when the run had no cache), wall, metrics (a
+           ``repro.obs`` metrics snapshot when the run was profiled,
+           else null)
 ========== =================================================================
+
+Timestamps come from :func:`repro.obs.clock.wall` -- the engine's one
+wall-clock source -- while durations inside events (``elapsed``,
+``wall``) are measured on the monotonic clock by their producers.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 from typing import Any, IO
+
+from ..obs import clock
 
 __all__ = ["RunJournal"]
 
@@ -52,7 +61,7 @@ class RunJournal:
     # ------------------------------------------------------------------
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:
         """Record one event (and flush it to the JSONL file, if any)."""
-        record: dict[str, Any] = {"t": round(time.time(), 3), "event": event}
+        record: dict[str, Any] = {"t": round(clock.wall(), 3), "event": event}
         record.update(fields)
         self.events.append(record)
         if self._fh is not None:

@@ -19,17 +19,26 @@ by :func:`~repro.engine.job.execute_job` inside the worker).
 
 Results are always returned in input order, so serial and parallel
 execution of the same job list are interchangeable.
+
+All timing (deadlines, per-job elapsed, queue wait) goes through
+:mod:`repro.obs.clock`, the same clock as the rest of the engine, so
+runner timings are directly comparable with journal and profile data.
+When a :mod:`repro.obs` collector is active, both runners record one
+``engine.job`` span per dispatch attempt plus queue-wait / busy-time
+metrics; with no collector the instrumentation reduces to a single
+``None`` check.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing
-import time
 from collections import deque
 from multiprocessing.connection import Connection, wait as _connection_wait
 from typing import Any, Callable, Sequence
 
+from ..obs import active as _active_collector
+from ..obs import clock
 from .job import JobResult, JobStatus, VerificationJob, execute_job
 
 __all__ = ["SerialRunner", "ParallelRunner", "make_runner"]
@@ -65,7 +74,28 @@ class SerialRunner:
         on_event: EventSink | None = None,
     ) -> list[JobResult]:
         """Run every job; results are in input order."""
-        return [execute_job(job) for job in jobs]
+        coll = _active_collector()
+        if coll is None:
+            return [execute_job(job) for job in jobs]
+        coll.gauge("engine.workers", 1)
+        run_started = clock.monotonic()
+        results = []
+        for job in jobs:
+            started = clock.monotonic()
+            coll.observe("engine.queue.wait", started - run_started)
+            result = execute_job(job)
+            ended = clock.monotonic()
+            coll.add_span(
+                "engine.job",
+                started,
+                ended=ended,
+                job=job.label,
+                status=result.status,
+            )
+            coll.observe("engine.job.elapsed", ended - started)
+            coll.count("engine.worker.busy_seconds", ended - started)
+            results.append(result)
+        return results
 
 
 def _worker_main(conn: Connection) -> None:
@@ -155,9 +185,30 @@ class ParallelRunner:
         if not jobs:
             return []
 
+        coll = _active_collector()
+        run_started = clock.monotonic()
+        if coll is not None:
+            coll.gauge("engine.workers", self.workers)
+
         def emit(event: str, **fields: Any) -> None:
             if on_event is not None:
                 on_event(event, fields)
+
+        def record_job(slot: _Slot, status: str) -> None:
+            """Observability record for one finished dispatch attempt."""
+            if coll is None:
+                return
+            ended = clock.monotonic()
+            coll.add_span(
+                "engine.job",
+                slot.started,
+                ended=ended,
+                job=jobs[slot.index].label,
+                attempt=slot.attempt,
+                status=status,
+            )
+            coll.observe("engine.job.elapsed", ended - slot.started)
+            coll.count("engine.worker.busy_seconds", ended - slot.started)
 
         results: list[JobResult | None] = [None] * len(jobs)
         pending: deque[tuple[int, int]] = deque(
@@ -169,6 +220,7 @@ class ParallelRunner:
         def fail_or_retry(slot: _Slot, status: str, error: str) -> None:
             """Requeue the job or finalize it after a timeout/crash."""
             reason = "timeout" if status == JobStatus.TIMEOUT else "crash"
+            record_job(slot, status)
             if slot.attempt <= self.retries:
                 emit(
                     "job_retry",
@@ -183,7 +235,7 @@ class ParallelRunner:
                     status,
                     error=error,
                     attempts=slot.attempt,
-                    elapsed=time.monotonic() - slot.started,
+                    elapsed=clock.monotonic() - slot.started,
                 )
             self._retire(slot)
             slots[slots.index(slot)] = self._spawn()
@@ -196,7 +248,11 @@ class ParallelRunner:
                         slot.token = next(tokens)
                         slot.index = index
                         slot.attempt = attempt
-                        slot.started = time.monotonic()
+                        slot.started = clock.monotonic()
+                        if coll is not None:
+                            coll.observe(
+                                "engine.queue.wait", slot.started - run_started
+                            )
                         try:
                             slot.conn.send((slot.token, jobs[index]))
                         except (BrokenPipeError, OSError):
@@ -230,12 +286,13 @@ class ParallelRunner:
                         continue
                     if token != slot.token:  # pragma: no cover - stale echo
                         continue
+                    record_job(slot, result.status)
                     result.attempts = slot.attempt
                     results[slot.index] = result
                     slot.token = None
 
                 if self.timeout is not None:
-                    now = time.monotonic()
+                    now = clock.monotonic()
                     for slot in list(slots):
                         if (
                             slot.token is not None

@@ -18,10 +18,11 @@ symbolic method avoids.
 from __future__ import annotations
 
 import enum
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs import active as _active_collector
+from ..obs import clock
 from ..core.errors import (
     ErrorKind,
     Violation,
@@ -133,7 +134,17 @@ def enumerate_space(
     benchmark harness bounded).
     """
     stats = EnumerationStats()
-    started = time.perf_counter()
+    started = clock.monotonic()
+
+    # One None check per site is the whole uninstrumented cost; the
+    # explicit search is hot enough that it gets no per-visit spans,
+    # only the frontier-depth histogram and final counters.
+    coll = _active_collector()
+    if coll is not None:
+        root_span = coll.span(
+            "enumerate", protocol=spec.name, n=n, equivalence=equivalence.value
+        )
+        root_span.__enter__()
 
     def key(state: ConcreteState) -> ConcreteState:
         return state.canonical() if equivalence is Equivalence.COUNTING else state
@@ -158,27 +169,38 @@ def enumerate_space(
             erroneous.append(state)
 
     check(init)
-    while frontier:
-        stats.max_frontier = max(stats.max_frontier, len(frontier))
-        current = frontier.popleft()
-        stats.expanded += 1
-        for transition in concrete_successors(spec, current):
-            stats.visits += 1
-            if stats.visits > max_visits:
-                raise RuntimeError(
-                    f"{spec.name}: exhaustive search for n={n} exceeded "
-                    f"{max_visits} visits"
-                )
-            target = transition.target
-            k = key(target)
-            if k in seen:
-                continue
-            seen[k] = target
-            check(target)
-            frontier.append(target)
+    try:
+        while frontier:
+            stats.max_frontier = max(stats.max_frontier, len(frontier))
+            current = frontier.popleft()
+            stats.expanded += 1
+            if coll is not None:
+                coll.observe("enumerate.frontier.depth", len(frontier) + 1)
+            for transition in concrete_successors(spec, current):
+                stats.visits += 1
+                if stats.visits > max_visits:
+                    raise RuntimeError(
+                        f"{spec.name}: exhaustive search for n={n} exceeded "
+                        f"{max_visits} visits"
+                    )
+                target = transition.target
+                k = key(target)
+                if k in seen:
+                    continue
+                seen[k] = target
+                check(target)
+                frontier.append(target)
+    finally:
+        if coll is not None:
+            root_span.__exit__(None, None, None)
 
     stats.unique_states = len(seen)
-    stats.elapsed = time.perf_counter() - started
+    stats.elapsed = clock.monotonic() - started
+    if coll is not None:
+        coll.count("enumerate.visits", stats.visits)
+        coll.count("enumerate.unique", stats.unique_states)
+        coll.count("enumerate.expanded", stats.expanded)
+        root_span.set(visits=stats.visits, unique=stats.unique_states)
     return EnumerationResult(
         spec=spec,
         n=n,

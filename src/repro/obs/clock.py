@@ -1,0 +1,34 @@
+"""The pipeline's single timing source.
+
+Before this module existed, durations were measured with a mix of
+``time.perf_counter`` (core, engine orchestration) and
+``time.monotonic`` (the parallel runner) -- two clocks with different
+resolutions whose readings cannot be compared.  Every duration in the
+repository is now measured with :func:`monotonic` and every epoch
+timestamp (journal events, trace exports) with :func:`wall`, so any
+two timing figures anywhere in a run are directly comparable.
+
+Both functions are deliberately trivial wrappers: code that needs a
+*deterministic* clock (exporter golden tests, replayable profiles)
+injects its own callable instead of monkeypatching the stdlib.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "wall"]
+
+
+def monotonic() -> float:
+    """Seconds on the highest-resolution monotonic clock available.
+
+    Use for *durations* (``t1 - t0``); the absolute value is
+    meaningless across processes.
+    """
+    return time.perf_counter()
+
+
+def wall() -> float:
+    """Seconds since the Unix epoch; use for timestamps, not durations."""
+    return time.time()

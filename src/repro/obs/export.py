@@ -1,0 +1,167 @@
+"""Exporters: one collector, three interchange formats.
+
+* :func:`to_json` -- the collector's full snapshot, pretty-printed;
+  the stable machine-readable profile format.
+* :func:`to_chrome_trace` -- Chrome trace-event JSON (``ph: "X"``
+  complete events plus final ``ph: "C"`` counter samples), loadable in
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+* :func:`to_prometheus` -- Prometheus text exposition format 0.0.4,
+  with HELP/TYPE lines taken from the metric catalog.
+
+``EXPORTERS`` maps CLI format names to renderers; every renderer is a
+pure function of the collector, so exporting never mutates a profile.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable
+
+from .collector import Collector
+from .metrics import CATALOG, MetricKind
+
+__all__ = [
+    "to_json",
+    "to_chrome_trace",
+    "to_prometheus",
+    "EXPORTERS",
+    "EXPORT_EXTENSIONS",
+]
+
+
+def to_json(collector: Collector) -> str:
+    """The collector snapshot as deterministic, pretty-printed JSON."""
+    return json.dumps(collector.snapshot(), indent=1, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+def _trace_events(collector: Collector) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": f"repro: {collector.name}"},
+        }
+    ]
+    end_us = 0.0
+    for record in collector.spans:
+        ts = record.start * 1e6
+        dur = (record.duration or 0.0) * 1e6
+        end_us = max(end_us, ts + dur)
+        args: dict[str, Any] = dict(record.attrs)
+        if record.error is not None:
+            args["error"] = record.error
+        event: dict[str, Any] = {
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(ts, 3),
+            "dur": round(dur, 3),
+            "pid": 1,
+            "tid": 1,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    # One final sample per counter/gauge: the run's end-state totals,
+    # shown as counter tracks under the span timeline.
+    for name, counter in sorted(collector.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": round(end_us, 3),
+                "pid": 1,
+                "args": {"value": counter.value},
+            }
+        )
+    for name, gauge in sorted(collector.gauges.items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": round(end_us, 3),
+                "pid": 1,
+                "args": {"value": gauge.value},
+            }
+        )
+    return events
+
+
+def to_chrome_trace(collector: Collector) -> str:
+    """Chrome trace-event JSON for Perfetto / ``chrome://tracing``."""
+    payload = {
+        "traceEvents": _trace_events(collector),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "collector": collector.name,
+            "created": round(collector.created_wall, 3),
+        },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name mangled into the Prometheus grammar."""
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_header(lines: list[str], name: str, raw: str, kind: str) -> None:
+    spec = CATALOG.get(raw)
+    if spec is not None and spec.help:
+        lines.append(f"# HELP {name} {spec.help}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def to_prometheus(collector: Collector) -> str:
+    """Prometheus text exposition of every instrument's final value."""
+    lines: list[str] = []
+    for raw, counter in sorted(collector.counters.items()):
+        name = _prom_name(raw) + "_total"
+        _prom_header(lines, name, raw, MetricKind.COUNTER.value)
+        lines.append(f"{name} {_prom_number(counter.value)}")
+    for raw, gauge in sorted(collector.gauges.items()):
+        name = _prom_name(raw)
+        _prom_header(lines, name, raw, MetricKind.GAUGE.value)
+        lines.append(f"{name} {_prom_number(gauge.value)}")
+    for raw, histogram in sorted(collector.histograms.items()):
+        name = _prom_name(raw)
+        _prom_header(lines, name, raw, MetricKind.HISTOGRAM.value)
+        for bound, cumulative in histogram.cumulative():
+            lines.append(
+                f'{name}_bucket{{le="{_prom_number(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{name}_sum {_prom_number(round(histogram.total, 9))}")
+        lines.append(f"{name}_count {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: CLI format name -> renderer.
+EXPORTERS: dict[str, Callable[[Collector], str]] = {
+    "json": to_json,
+    "chrome-trace": to_chrome_trace,
+    "prometheus": to_prometheus,
+}
+
+#: CLI format name -> conventional file extension for default outputs.
+EXPORT_EXTENSIONS: dict[str, str] = {
+    "json": ".profile.json",
+    "chrome-trace": ".trace.json",
+    "prometheus": ".prom",
+}

@@ -1,0 +1,111 @@
+"""The human-readable profile report behind ``repro profile``.
+
+Aggregates a collector's span stream by name (count / total / mean /
+share of the root span) and tabulates every counter, gauge and
+histogram -- the at-a-glance view; the exported trace file is the
+drill-down.
+"""
+
+from __future__ import annotations
+
+from .collector import Collector
+from .metrics import CATALOG
+
+__all__ = ["render_report"]
+
+
+def _format_rows(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _span_section(collector: Collector) -> str:
+    totals = collector.span_totals()
+    if not totals:
+        return "spans: none recorded"
+    # The wall of the longest root-level span anchors the share column.
+    root_wall = max(
+        (record.duration or 0.0)
+        for record in collector.spans
+        if record.parent is None
+    )
+    rows = []
+    for name, (count, total) in sorted(
+        totals.items(), key=lambda item: -item[1][1]
+    ):
+        share = f"{total / root_wall:6.1%}" if root_wall > 0 else "     -"
+        mean_us = total / count * 1e6 if count else 0.0
+        rows.append(
+            [
+                name,
+                str(count),
+                f"{total * 1000:10.3f}",
+                f"{mean_us:10.1f}",
+                share,
+            ]
+        )
+    return _format_rows(
+        ["span", "count", "total ms", "mean us", "share"], rows
+    )
+
+
+def _unit_of(name: str) -> str:
+    spec = CATALOG.get(name)
+    return spec.unit if spec is not None else ""
+
+
+def _number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _metric_sections(collector: Collector) -> list[str]:
+    sections: list[str] = []
+    if collector.counters:
+        rows = [
+            [name, _number(counter.value), _unit_of(name)]
+            for name, counter in sorted(collector.counters.items())
+        ]
+        sections.append(_format_rows(["counter", "value", "unit"], rows))
+    if collector.gauges:
+        rows = [
+            [name, _number(gauge.value), _unit_of(name)]
+            for name, gauge in sorted(collector.gauges.items())
+        ]
+        sections.append(_format_rows(["gauge", "value", "unit"], rows))
+    if collector.histograms:
+        rows = []
+        for name, histogram in sorted(collector.histograms.items()):
+            rows.append(
+                [
+                    name,
+                    str(histogram.count),
+                    _number(histogram.min if histogram.min is not None else 0),
+                    f"{histogram.mean:.6g}",
+                    _number(histogram.max if histogram.max is not None else 0),
+                    _unit_of(name),
+                ]
+            )
+        sections.append(
+            _format_rows(
+                ["histogram", "count", "min", "mean", "max", "unit"], rows
+            )
+        )
+    return sections
+
+
+def render_report(collector: Collector, *, title: str | None = None) -> str:
+    """The full text report: span aggregates then metric tables."""
+    header = title or f"profile: {collector.name}"
+    parts = [header, "=" * len(header), "", _span_section(collector)]
+    for section in _metric_sections(collector):
+        parts.extend(["", section])
+    return "\n".join(parts)

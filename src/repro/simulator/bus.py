@@ -12,6 +12,7 @@ broadcasts to the snooping caches, and the block fill to the initiator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.protocol import ProtocolSpec
 from ..core.reactions import Ctx, INITIATOR
@@ -19,6 +20,9 @@ from ..core.semantics import is_store
 from ..core.symbols import CountCase, Op
 from .cache import Cache
 from .memory import MainMemory
+
+if TYPE_CHECKING:
+    from ..obs import Collector
 
 __all__ = ["BusStats", "Bus"]
 
@@ -46,6 +50,18 @@ class BusStats:
             "updates": self.updates,
             "stalls": self.stalls,
         }
+
+    def flush(
+        self, coll: "Collector", base: dict[str, int] | None = None
+    ) -> None:
+        """Add these counters (less *base*) to ``sim.bus.*`` metrics.
+
+        The bus stays uninstrumented per transaction; callers snapshot
+        ``as_dict()`` before a run and flush the delta afterwards.
+        """
+        baseline = base or {}
+        for key, value in self.as_dict().items():
+            coll.count(f"sim.bus.{key}", value - baseline.get(key, 0))
 
 
 class Bus:

@@ -19,7 +19,9 @@ The simulator serves two roles in the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..obs import active as _active_collector
 from ..core.protocol import ProtocolSpec
 from ..core.symbols import Op
 from .bus import Bus, BusStats
@@ -27,6 +29,9 @@ from .cache import Cache
 from .checker import CoherenceViolation, GoldenChecker
 from .memory import MainMemory
 from .trace import Access, AccessKind, Trace
+
+if TYPE_CHECKING:
+    from ..obs import Collector
 
 __all__ = ["CoherenceViolationError", "SystemStats", "SimulationReport", "System"]
 
@@ -62,6 +67,14 @@ class SystemStats:
             "replacements": self.replacements,
             "stalled": self.stalled,
         }
+
+    def flush(
+        self, coll: "Collector", base: dict[str, int] | None = None
+    ) -> None:
+        """Add these counters (less *base*) to ``sim.*`` metrics."""
+        baseline = base or {}
+        for key, value in self.as_dict().items():
+            coll.count(f"sim.{key}", value - baseline.get(key, 0))
 
 
 @dataclass
@@ -275,23 +288,47 @@ class System:
         In non-strict mode violations are recorded and (optionally) the
         run continues, measuring *when* testing would have caught a bug.
         """
-        for access in trace:
-            if access.pid >= self.n_processors:
-                raise ValueError(
-                    f"trace references processor {access.pid} but the system "
-                    f"has {self.n_processors}"
+        # Per-access instrumentation would dominate the simulator's
+        # cost, so a profiled run gets one `sim.run` span and a flush
+        # of the stat deltas once the trace finishes.
+        coll = _active_collector()
+        if coll is not None:
+            run_span = coll.span(
+                "sim.run", protocol=self.spec.name, n=self.n_processors
+            )
+            run_span.__enter__()
+            stats_before = self.stats.as_dict()
+            bus_before = self.bus.stats.as_dict()
+        try:
+            for access in trace:
+                if access.pid >= self.n_processors:
+                    raise ValueError(
+                        f"trace references processor {access.pid} but the "
+                        f"system has {self.n_processors}"
+                    )
+                before = len(self._violations)
+                if access.kind is AccessKind.READ:
+                    self.read(access.pid, access.addr)
+                elif access.kind is AccessKind.WRITE:
+                    self.write(access.pid, access.addr)
+                elif access.kind is AccessKind.LOCK:
+                    self.lock(access.pid, access.addr)
+                else:
+                    self.unlock(access.pid, access.addr)
+                if stop_on_violation and len(self._violations) > before:
+                    break
+        finally:
+            if coll is not None:
+                self.stats.flush(coll, stats_before)
+                self.bus.stats.flush(coll, bus_before)
+                run_span.set(
+                    accesses=self.stats.accesses - stats_before["accesses"],
+                    transactions=(
+                        self.bus.stats.transactions
+                        - bus_before["transactions"]
+                    ),
                 )
-            before = len(self._violations)
-            if access.kind is AccessKind.READ:
-                self.read(access.pid, access.addr)
-            elif access.kind is AccessKind.WRITE:
-                self.write(access.pid, access.addr)
-            elif access.kind is AccessKind.LOCK:
-                self.lock(access.pid, access.addr)
-            else:
-                self.unlock(access.pid, access.addr)
-            if stop_on_violation and len(self._violations) > before:
-                break
+                run_span.__exit__(None, None, None)
         return SimulationReport(
             stats=self.stats,
             bus=self.bus.stats,

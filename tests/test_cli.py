@@ -135,6 +135,57 @@ class TestBatchCommand:
         assert "firefly_like" in capsys.readouterr().out
 
 
+class TestProfileCommand:
+    def test_profile_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "illinois.trace.json"
+        code = main(
+            ["profile", "illinois", "--format", "chrome-trace", "-o", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        for needle in (
+            "expand",
+            "witness.check",
+            "prune.containment",
+            "expand.visits",
+            "engine.cache.misses",
+        ):
+            assert needle in text
+        data = json.loads(out.read_text(encoding="utf-8"))
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert {"profile", "expand", "engine.job"} <= names
+
+    def test_profile_json_format_and_report_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "msi.profile.json"
+        report = tmp_path / "report.txt"
+        code = main(
+            [
+                "profile",
+                "msi",
+                "--format",
+                "json",
+                "-o",
+                str(out),
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        snapshot = json.loads(out.read_text(encoding="utf-8"))
+        assert snapshot["counters"]["expand.visits"] > 0
+        assert any(s["name"] == "expand" for s in snapshot["spans"])
+        assert "expand" in report.read_text(encoding="utf-8")
+
+    def test_profile_without_targets_is_usage_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert "nothing to profile" in capsys.readouterr().err
+
+
 class TestExitCodes:
     def test_help_documents_exit_status(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,351 @@
+"""Tests for repro.obs: tracer, metrics, exporters and pipeline wiring.
+
+The exporter outputs are pinned to golden files under
+``tests/goldens/obs/`` using a fully deterministic collector (injected
+fake clocks).  Regenerate after an intentional format change with::
+
+    python -m tests.test_obs
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.essential import PruningMode, explore
+from repro.engine.batch import run_batch
+from repro.engine.cache import ResultCache
+from repro.engine.job import VerificationJob
+from repro.obs import (
+    NOOP_SPAN,
+    Collector,
+    active,
+    count,
+    observe,
+    render_report,
+    span,
+    to_chrome_trace,
+    to_json,
+    to_prometheus,
+    use_collector,
+)
+from repro.obs.metrics import CATALOG, Counter, Gauge, Histogram
+from repro.protocols.registry import get_protocol
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens" / "obs"
+
+
+# ----------------------------------------------------------------------
+# The zero-overhead no-op path
+# ----------------------------------------------------------------------
+def test_no_collector_by_default():
+    assert active() is None
+
+
+def test_module_helpers_are_inert_without_collector():
+    handle = span("anything", attr=1)
+    assert handle is NOOP_SPAN  # the one shared singleton, every time
+    with handle as inner:
+        inner.set(more=2)
+    count("expand.visits")
+    observe("expand.worklist.depth", 3.0)
+    assert active() is None
+
+
+def test_noop_span_is_reentrant():
+    with NOOP_SPAN:
+        with NOOP_SPAN:
+            assert NOOP_SPAN.set(x=1) is NOOP_SPAN
+
+
+def test_use_collector_restores_previous_state():
+    collector = Collector("outer")
+    with use_collector(collector):
+        assert active() is collector
+        inner = Collector("inner")
+        with use_collector(inner):
+            assert active() is inner
+        assert active() is collector
+    assert active() is None
+
+
+# ----------------------------------------------------------------------
+# Span recording: nesting, manual timing, exception safety
+# ----------------------------------------------------------------------
+def test_span_nesting_records_parents():
+    collector = Collector("t")
+    with collector.span("a"):
+        with collector.span("b"):
+            collector.add_span("c", collector.now())
+        with collector.span("d"):
+            pass
+    a, b, c, d = collector.spans
+    assert [s.name for s in collector.spans] == ["a", "b", "c", "d"]
+    assert a.parent is None
+    assert b.parent == a.index
+    assert c.parent == b.index  # manual spans adopt the open span
+    assert d.parent == a.index
+    assert all(s.duration is not None and s.duration >= 0 for s in collector.spans)
+
+
+def test_span_exception_safety():
+    collector = Collector("t")
+    with pytest.raises(ValueError):
+        with collector.span("outer"):
+            with collector.span("inner"):
+                raise ValueError("boom")
+    outer, inner = collector.spans
+    assert inner.error == "ValueError"
+    assert outer.error == "ValueError"
+    assert inner.duration is not None and outer.duration is not None
+    assert collector._stack == []  # nothing leaked
+    with collector.span("after"):
+        pass
+    assert collector.spans[-1].parent is None
+
+
+def test_leaked_inner_span_does_not_corrupt_ancestry():
+    collector = Collector("t")
+    outer = collector.span("outer")
+    collector.span("leaked")  # never closed explicitly
+    outer.__exit__(None, None, None)  # closing outer pops the leak too
+    with collector.span("next"):
+        pass
+    assert collector.spans[-1].parent is None
+
+
+def test_span_attrs_via_set():
+    collector = Collector("t")
+    with collector.span("s", a=1) as handle:
+        handle.set(b=2)
+    assert collector.spans[0].attrs == {"a": 1, "b": 2}
+
+
+# ----------------------------------------------------------------------
+# Metric instruments
+# ----------------------------------------------------------------------
+def test_counter_rejects_negative_increment():
+    counter = Counter()
+    counter.add(2)
+    with pytest.raises(ValueError):
+        counter.add(-1)
+    assert counter.value == 2
+
+
+def test_gauge_keeps_last_value():
+    gauge = Gauge()
+    gauge.set(3)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+
+
+def test_histogram_buckets_and_cumulative():
+    histogram = Histogram(bounds=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.min == 0.5 and histogram.max == 50.0
+    cumulative = histogram.cumulative()
+    assert cumulative[-1][0] == float("inf") and cumulative[-1][1] == 3
+    assert [count for _, count in cumulative] == [1, 2, 3]
+
+
+def test_catalog_names_are_prometheus_safe():
+    for name, spec in CATALOG.items():
+        assert name == name.strip()
+        assert spec.kind in ("counter", "gauge", "histogram")
+        assert spec.help
+
+
+# ----------------------------------------------------------------------
+# Exporters (golden files; fully deterministic fake clocks)
+# ----------------------------------------------------------------------
+def _fake_clock(step: float = 0.25):
+    reading = [0.0]
+
+    def tick() -> float:
+        value = reading[0]
+        reading[0] += step
+        return value
+
+    return tick
+
+
+def golden_collector() -> Collector:
+    """A small, fully deterministic profile used by the exporter goldens."""
+    collector = Collector(
+        "golden", clock_fn=_fake_clock(), wall_fn=lambda: 1700000000.0
+    )
+    with collector.span("expand", protocol="illinois") as root:
+        with collector.span("expand.step"):
+            collector.add_span(
+                "prune.containment", 1.0, ended=1.125, disposition="kept"
+            )
+        root.set(essential=5, visits=23)
+    collector.count("expand.visits", 23)
+    collector.count("covering.contains.hits", 42)
+    collector.gauge("expand.worklist.peak", 2)
+    for depth in (1, 1, 2, 2, 1):
+        collector.observe("expand.worklist.depth", depth)
+    return collector
+
+
+GOLDENS = {
+    "profile.json": to_json,
+    "trace.json": to_chrome_trace,
+    "metrics.prom": to_prometheus,
+}
+
+
+@pytest.mark.parametrize("filename", sorted(GOLDENS))
+def test_exporter_matches_golden(filename):
+    rendered = GOLDENS[filename](golden_collector())
+    golden = (GOLDEN_DIR / filename).read_text(encoding="utf-8")
+    assert rendered.rstrip("\n") == golden.rstrip("\n"), (
+        f"{filename}: exporter output drifted from the golden; if the "
+        "change is intentional, regenerate with `python -m tests.test_obs`"
+    )
+
+
+def test_chrome_trace_is_valid_and_complete():
+    data = json.loads(to_chrome_trace(golden_collector()))
+    phases = {event["ph"] for event in data["traceEvents"]}
+    assert {"M", "X", "C"} <= phases
+    complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {
+        "expand",
+        "expand.step",
+        "prune.containment",
+    }
+    assert all(e["dur"] >= 0 for e in complete)
+
+
+def test_prometheus_format_shape():
+    text = to_prometheus(golden_collector())
+    assert "# TYPE repro_expand_visits_total counter" in text
+    assert "repro_expand_visits_total 23" in text
+    assert "# TYPE repro_expand_worklist_depth histogram" in text
+    assert 'le="+Inf"' in text
+    assert "repro_expand_worklist_depth_count 5" in text
+
+
+def test_render_report_mentions_all_sections():
+    text = render_report(golden_collector(), title="golden")
+    for needle in ("expand.step", "expand.visits", "expand.worklist.peak"):
+        assert needle in text
+
+
+# ----------------------------------------------------------------------
+# Pipeline wiring
+# ----------------------------------------------------------------------
+def test_expansion_counters_for_illinois():
+    collector = Collector("illinois")
+    with use_collector(collector):
+        result = explore(get_protocol("illinois"))
+    assert result.ok and len(result.essential) == 5
+
+    metrics = collector.metrics_snapshot()
+    assert metrics["expand.visits"] == result.stats.visits == 23
+    assert metrics["expand.expanded"] == result.stats.expanded
+    assert metrics["expand.pruned.contained"] == result.stats.discarded_contained
+    assert (
+        metrics["covering.contains.hits"] + metrics["covering.contains.misses"] > 0
+    )
+    names = {record.name for record in collector.spans}
+    assert {"expand", "expand.step", "expand.edges", "witness.check"} <= names
+    assert f"prune.{PruningMode.CONTAINMENT.value}" in names
+
+    root = collector.spans[0]
+    assert root.name == "expand" and root.parent is None
+    assert root.attrs["essential"] == 5 and root.attrs["visits"] == 23
+
+
+def test_instrumented_expansion_matches_uninstrumented():
+    plain = explore(get_protocol("synapse"))
+    with use_collector(Collector("x")):
+        profiled = explore(get_protocol("synapse"))
+    assert {s.pretty() for s in profiled.essential} == {
+        s.pretty() for s in plain.essential
+    }
+    assert profiled.stats.visits == plain.stats.visits
+
+
+def test_covering_probe_cleared_after_exploration():
+    from repro.core import covering
+
+    with use_collector(Collector("x")):
+        explore(get_protocol("illinois"))
+    assert covering._PROBE is None
+
+
+def test_batch_journal_metrics_and_cache_counters(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    jobs = [VerificationJob(protocol="illinois")]
+
+    cold = Collector("cold")
+    with use_collector(cold):
+        report = run_batch(jobs, cache=cache)
+    assert report.cache_lookup_hits == 0 and report.cache_lookup_misses == 1
+    assert "1 misses" in report.counts_line()
+    end = report.journal.of("run_end")[0]
+    assert end["cache_lookups"] == {"hits": 0, "misses": 1}
+    assert end["metrics"]["engine.jobs"] == 1
+    assert end["metrics"]["engine.cache.misses"] == 1
+    assert end["metrics"]["expand.visits"] == 23  # in-process spans merge
+
+    warm = Collector("warm")
+    with use_collector(warm):
+        report = run_batch(jobs, cache=cache)
+    assert report.cache_lookup_hits == 1 and report.cache_lookup_misses == 0
+    assert warm.metrics_snapshot()["engine.cache.hits"] == 1
+    span_names = {record.name for record in warm.spans}
+    assert "batch.admit" in span_names
+
+
+def test_batch_without_collector_still_reports_cache_lookups(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    jobs = [VerificationJob(protocol="synapse")]
+    report = run_batch(jobs, cache=cache)
+    assert report.cache_lookup_misses == 1
+    end = report.journal.of("run_end")[0]
+    assert end["metrics"] is None
+    assert end["cache_lookups"] == {"hits": 0, "misses": 1}
+
+
+def test_cacheless_batch_leaves_lookup_fields_none():
+    report = run_batch([VerificationJob(protocol="synapse")], cache=None)
+    assert report.cache_lookup_hits is None
+    assert "misses" not in report.counts_line()
+    assert report.journal.of("run_end")[0]["cache_lookups"] is None
+
+
+def test_simulator_counters():
+    from repro.simulator.system import System
+    from repro.simulator.workloads import make_workload
+
+    collector = Collector("sim")
+    system = System(get_protocol("illinois"), 3, strict=False)
+    trace = make_workload("hot-block", 3, 300, seed=7)
+    with use_collector(collector):
+        system.run(trace)
+    metrics = collector.metrics_snapshot()
+    assert metrics["sim.accesses"] == 300
+    assert metrics["sim.reads"] + metrics["sim.writes"] <= metrics["sim.accesses"]
+    assert metrics["sim.bus.transactions"] == system.bus.stats.transactions
+    [run_span] = [r for r in collector.spans if r.name == "sim.run"]
+    assert run_span.attrs["accesses"] == 300
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for filename, exporter in GOLDENS.items():
+        path = GOLDEN_DIR / filename
+        rendered = exporter(golden_collector())
+        path.write_text(rendered.rstrip("\n") + "\n", encoding="utf-8")
+        print("wrote", path)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()
