@@ -49,7 +49,14 @@ from .simulator.system import System
 from .simulator.traceio import load_trace, save_trace
 from .simulator.workloads import WORKLOADS, make_workload
 
-__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_VIOLATION", "EXIT_ERROR"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_VIOLATION",
+    "EXIT_ERROR",
+    "EXIT_INTERRUPTED",
+]
 
 #: Exit status: every requested check passed.
 EXIT_OK = 0
@@ -57,6 +64,10 @@ EXIT_OK = 0
 EXIT_VIOLATION = 1
 #: Exit status: usage, specification or input error.
 EXIT_ERROR = 2
+#: Exit status: interrupted by SIGINT (128 + signal number 2).  The
+#: batch engine flushes a ``run_aborted`` journal event first, so the
+#: run can be picked up again with ``repro batch --resume``.
+EXIT_INTERRUPTED = 130
 
 _EXIT_STATUS_DOC = """\
 exit status:
@@ -65,7 +76,10 @@ exit status:
       or lint found error-severity problems)
   2   usage, specification or input error (unknown protocol, bad spec
       file, malformed arguments, crashed/timed-out batch jobs,
-      preflight-rejected specifications)
+      budget-exhausted partial results, preflight-rejected
+      specifications)
+  130 interrupted (SIGINT); an interrupted batch flushes its journal
+      and can be continued with `repro batch --resume JOURNAL`
 """
 
 
@@ -167,6 +181,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 protocol=name,
                 augmented=not args.structural,
                 validate_spec=True,
+                deadline=args.deadline,
             )
         )
         if args.mutants:
@@ -176,13 +191,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                         protocol=name,
                         mutant=mutant.mutation.key,
                         augmented=not args.structural,
+                        deadline=args.deadline,
                     )
                 )
     for path in args.spec_file:
-        jobs.append(VerificationJob(spec_file=path, augmented=not args.structural))
+        jobs.append(
+            VerificationJob(
+                spec_file=path,
+                augmented=not args.structural,
+                deadline=args.deadline,
+            )
+        )
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    with RunJournal(args.journal) as journal:
+    resume_events = None
+    journal_path = args.journal
+    journal_mode = "new"
+    if args.resume:
+        if args.journal and args.journal != args.resume:
+            raise ValueError(
+                "--resume continues the given journal; do not also pass "
+                "a different --journal"
+            )
+        resume_events = RunJournal.read(args.resume)
+        journal_path = args.resume
+        journal_mode = "append"
+    with RunJournal(journal_path, mode=journal_mode) as journal:
         report = run_batch(
             jobs,
             workers=args.jobs,
@@ -190,7 +224,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             journal=journal,
             timeout=args.timeout,
             retries=args.retries,
+            grace=args.grace,
             preflight=args.preflight,
+            resume=resume_events,
         )
     print(report.summary_table())
     lint_findings = report.lint_table()
@@ -199,8 +235,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(lint_findings)
     print()
     print(report.counts_line())
-    if args.journal:
-        print(f"journal written to {args.journal}")
+    if journal_path:
+        print(f"journal written to {journal_path}")
     return report.exit_code
 
 
@@ -345,16 +381,33 @@ def _cmd_mutants(args: argparse.Namespace) -> int:
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     [spec] = resolve_specs(args.protocol)
     equivalence = Equivalence.COUNTING if args.counting else Equivalence.STRICT
-    result = enumerate_space(spec, args.n, equivalence=equivalence)
+    guard = None
+    if args.deadline is not None:
+        from .engine.guard import Budget, Guard
+
+        guard = Guard(Budget(deadline=args.deadline))
+    result = enumerate_space(spec, args.n, equivalence=equivalence, guard=guard)
+    if result.partial:
+        why = result.exhausted.describe() if result.exhausted else "budget"
+        verdict = (
+            f"PARTIAL ({why}; {len(result.frontier)} frontier states "
+            "unexpanded)"
+        )
+    else:
+        verdict = "no violations" if result.ok else "VIOLATIONS FOUND"
     print(
         f"{spec.name}, n={args.n}, {equivalence.value} equivalence: "
         f"{result.stats.unique_states} states, {result.stats.visits} visits, "
-        f"{'no violations' if result.ok else 'VIOLATIONS FOUND'}"
+        f"{verdict}"
     )
+    if result.violations and result.partial:
+        print("  (violations found before exhaustion are definitive)")
     if args.show_states:
         for state in result.states:
             print("  ", state.pretty())
-    return EXIT_OK if result.ok else EXIT_VIOLATION
+    if result.violations:
+        return EXIT_VIOLATION
+    return EXIT_ERROR if result.partial else EXIT_OK
 
 
 def _cmd_crossval(args: argparse.Namespace) -> int:
@@ -497,7 +550,13 @@ def build_parser() -> argparse.ArgumentParser:
         "a multiprocessing worker pool with per-job timeouts, bounded "
         "retries and crash isolation, a persistent content-addressed "
         "result cache keyed by spec fingerprint, and a structured JSONL "
-        "run journal.",
+        "run journal.  Results are journaled and cached incrementally, "
+        "so an interrupted run (Ctrl-C exits with status 130 after "
+        "flushing a run_aborted journal event) keeps everything finished "
+        "so far and can be continued with --resume JOURNAL, which "
+        "re-dispatches only unfinished jobs.",
+        epilog=_EXIT_STATUS_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument(
         "--protocols",
@@ -543,10 +602,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job wall-clock budget in seconds (forces worker processes)",
     )
     p.add_argument(
+        "--grace",
+        type=float,
+        help="soft-cancel window for timed-out jobs: seconds granted to "
+        "emit a partial result before SIGKILL (default: 1)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-job cooperative deadline: an exhausted job stops "
+        "cleanly with a partial result instead of timing out",
+    )
+    p.add_argument(
         "--retries",
         type=int,
         default=1,
         help="retry budget for timed-out/crashed jobs (default: 1)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        help="continue an interrupted run: replay finished jobs from "
+        "this journal (and the cache), re-dispatch only the rest; "
+        "appends to the same journal file",
     )
     p.add_argument("--structural", action="store_true", help="skip context variables")
     p.add_argument(
@@ -686,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=3, help="number of caches")
     p.add_argument("--counting", action="store_true", help="Definition 5 equivalence")
     p.add_argument("--show-states", action="store_true")
+    p.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; an exhausted search reports the "
+        "reachable prefix as a partial result instead of running away",
+    )
 
     p = sub.add_parser("crossval", help="Theorem 1 cross-validation")
     p.add_argument("protocol", help="protocol name or 'all'")
@@ -762,6 +848,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
+    except KeyboardInterrupt:
+        # The batch engine has already flushed a run_aborted journal
+        # event by the time the interrupt reaches us (see run_batch).
+        print(
+            f"repro {args.command}: interrupted; journaled results are "
+            "kept (batch runs continue with --resume)",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     except (
         KeyError,
         ValueError,

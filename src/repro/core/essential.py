@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..obs import active as _active_collector
 from ..obs import clock
@@ -42,6 +42,12 @@ from .errors import (
 )
 from .expansion import SymbolicExpander, SymbolicTransition
 from .protocol import ProtocolSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # The guard lives in the engine layer (above core); explore() only
+    # relies on its check() protocol, so no runtime import is needed
+    # and the core -> engine dependency stays a typing artifact.
+    from ..engine.guard import Exhaustion, Guard
 
 __all__ = [
     "PruningMode",
@@ -135,11 +141,24 @@ class ExpansionResult:
     violations: tuple[Violation, ...]
     witnesses: tuple[Witness, ...]
     trace: tuple[TraceEntry, ...] = field(default_factory=tuple)
+    #: True when a guard budget expired before the fixpoint: the
+    #: essential set is a sound *prefix* (every listed state is
+    #: reachable) but may be incomplete, and ``transitions`` is empty.
+    partial: bool = False
+    #: Why the run stopped early (``None`` for complete runs).
+    exhausted: "Exhaustion | None" = None
+    #: Unexplored working states at the moment the budget expired
+    #: (first entry: the state whose expansion was interrupted).
+    frontier: tuple[CompositeState, ...] = field(default_factory=tuple)
 
     @property
     def ok(self) -> bool:
-        """True iff no erroneous state is reachable (protocol verified)."""
-        return not self.violations
+        """True iff the protocol is *proven* correct: the expansion ran
+        to its fixpoint and no erroneous state is reachable.  A partial
+        run is never ``ok`` -- unvisited states could still be
+        erroneous -- though any violations it did find are definitive.
+        """
+        return not self.violations and not self.partial
 
     def essential_by_render(self) -> dict[str, CompositeState]:
         """Map from pretty-rendering to state, for report lookups."""
@@ -147,7 +166,16 @@ class ExpansionResult:
 
     def summary(self) -> str:
         """One-paragraph textual summary of the verification run."""
-        verdict = "VERIFIED" if self.ok else f"FAILED ({len(self.violations)} violations)"
+        if self.violations:
+            verdict = f"FAILED ({len(self.violations)} violations)"
+        elif self.partial:
+            reason = self.exhausted.reason if self.exhausted else "budget"
+            verdict = (
+                f"PARTIAL ({reason}; {len(self.frontier)} frontier states "
+                "unexplored)"
+            )
+        else:
+            verdict = "VERIFIED"
         return (
             f"{self.spec.full_name or self.spec.name}: {verdict}; "
             f"{len(self.essential)} essential states, "
@@ -194,6 +222,7 @@ def explore(
     keep_trace: bool = False,
     stop_on_error: bool = False,
     on_state: Callable[[CompositeState], None] | None = None,
+    guard: "Guard | None" = None,
 ) -> ExpansionResult:
     """Run the Figure 3 algorithm to its fixpoint.
 
@@ -209,13 +238,21 @@ def explore(
         detection (ablation baseline).
     max_visits:
         Budget on generated states; exceeding it raises
-        :class:`ExpansionLimitError`.
+        :class:`ExpansionLimitError`.  Ignored when ``guard`` is given
+        (the guard owns every budget and degrades gracefully instead
+        of raising).
     keep_trace:
         Record a :class:`TraceEntry` per generated state (Appendix A.2).
     stop_on_error:
         Stop at the first erroneous state instead of exploring fully.
     on_state:
         Optional callback invoked for every newly retained state.
+    guard:
+        Optional :class:`repro.engine.guard.Guard` polled once per
+        generated state.  When a budget expires the run stops cleanly
+        and returns a **partial** result (``partial=True``) carrying
+        the essential-set-so-far, the unexplored frontier and the
+        exhaustion reason -- it never raises.
     """
     expander = SymbolicExpander(spec, augmented=augmented)
     stats = ExpansionStats()
@@ -261,6 +298,7 @@ def explore(
     record_error(initial)
 
     stop = False
+    exhausted: "Exhaustion | None" = None
     try:
         if coll is not None:
             covering.set_probe(
@@ -268,7 +306,7 @@ def explore(
                     "covering.contains.hits" if hit else "covering.contains.misses"
                 )
             )
-        while working and not stop:
+        while working and not stop and exhausted is None:
             stats.max_worklist = max(stats.max_worklist, len(working))
             current = working.pop(0)
             stats.expanded += 1
@@ -280,7 +318,14 @@ def explore(
 
             for transition in expander.successors(current):
                 stats.visits += 1
-                if stats.visits > max_visits:
+                if guard is not None:
+                    exhausted = guard.check(
+                        visits=stats.visits,
+                        states=len(working) + len(visited) + 1,
+                    )
+                    if exhausted is not None:
+                        break
+                elif stats.visits > max_visits:
                     raise ExpansionLimitError(
                         f"{spec.name}: exceeded {max_visits} state visits "
                         f"(pruning={pruning.value})"
@@ -349,10 +394,14 @@ def explore(
 
             if coll is not None:
                 step_span.__exit__(None, None, None)
-            if not discard_current and not stop:
-                # (On an early stop the current state is only partially
-                # expanded, so it must not masquerade as essential.)
+            if not discard_current and not stop and exhausted is None:
+                # (On an early stop or an exhausted budget the current
+                # state is only partially expanded, so it must not
+                # masquerade as essential.)
                 visited.append(current)
+            elif exhausted is not None:
+                # The interrupted state heads the unexplored frontier.
+                working.insert(0, current)
 
         stats.scenarios = expander.scenarios_evaluated
         essential = tuple(visited)
@@ -360,10 +409,11 @@ def explore(
         # Final pass: edges of the global transition diagram between the
         # essential states (every successor of an essential state is, by
         # the pruning invariant, contained in some essential state).
+        # Skipped on partial runs: the invariant only holds at fixpoint.
         if coll is not None:
             edges_started = coll.now()
         edges: dict[tuple[CompositeState, str, CompositeState], SymbolicTransition] = {}
-        if not stop:
+        if not stop and exhausted is None:
             for source in essential:
                 for transition in expander.successors(source):
                     home = _essential_home(transition.target, essential, pruning)
@@ -386,7 +436,11 @@ def explore(
         coll.count("expand.pruned.duplicate", stats.duplicates)
         coll.count("expand.scenarios", stats.scenarios)
         coll.gauge("expand.worklist.peak", stats.max_worklist)
-        root_span.set(essential=len(essential), visits=stats.visits)
+        root_span.set(
+            essential=len(essential),
+            visits=stats.visits,
+            partial=exhausted is not None,
+        )
     return ExpansionResult(
         spec=spec,
         augmented=augmented,
@@ -398,6 +452,9 @@ def explore(
         violations=tuple(violations),
         witnesses=tuple(witnesses),
         trace=tuple(trace),
+        partial=exhausted is not None,
+        exhausted=exhausted,
+        frontier=tuple(working) if exhausted is not None else (),
     )
 
 

@@ -111,6 +111,11 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
     payload does not depend on worklist scheduling or dict insertion
     order; repeated runs of the same verification are byte-identical
     (modulo the wall-clock ``elapsed_seconds`` stat).
+
+    Partial results (a guard budget expired before the fixpoint) gain
+    one extra ``"partial"`` key carrying the exhaustion reason and the
+    unexplored frontier; complete results serialize exactly as before,
+    so goldens and fingerprint substrates are unaffected.
     """
     index = {state: i for i, state in enumerate(result.essential)}
     transitions = sorted(
@@ -126,7 +131,7 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
         ),
         key=lambda t: (t["source"], t["label"], t["target"]),
     )
-    return {
+    payload: dict[str, Any] = {
         "protocol": result.spec.name,
         "full_name": result.spec.full_name,
         "augmented": result.augmented,
@@ -147,6 +152,12 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
         "violations": [_violation_to_dict(v) for v in result.violations],
         "witnesses": [_witness_to_dict(w) for w in result.witnesses],
     }
+    if result.partial:
+        payload["partial"] = {
+            **(result.exhausted.to_dict() if result.exhausted is not None else {}),
+            "frontier": [state_to_dict(s) for s in result.frontier],
+        }
+    return payload
 
 
 def result_to_json(result: ExpansionResult, *, indent: int = 2) -> str:

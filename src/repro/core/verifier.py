@@ -19,6 +19,7 @@ from .graph import ascii_diagram
 from .protocol import ProtocolSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.guard import Guard
     from ..lint.model import LintReport
 
 __all__ = ["VerificationReport", "verify"]
@@ -39,6 +40,11 @@ class VerificationReport:
         return self.result.ok
 
     @property
+    def partial(self) -> bool:
+        """True iff a guard budget expired before the fixpoint."""
+        return self.result.partial
+
+    @property
     def spec(self) -> ProtocolSpec:
         """The verified protocol specification."""
         return self.result.spec
@@ -56,13 +62,24 @@ class VerificationReport:
     def render(self, *, diagram: bool = True, max_witnesses: int = 3) -> str:
         """Full multi-line report: verdict, states, diagram, witnesses."""
         res = self.result
+        if self.ok:
+            verdict = "VERIFIED -- no erroneous state is reachable"
+        elif res.partial and not res.violations:
+            why = res.exhausted.describe() if res.exhausted else "budget exhausted"
+            verdict = (
+                f"PARTIAL -- {why}; no erroneous state found in the "
+                f"explored prefix ({len(res.frontier)} frontier states "
+                "unexplored)"
+            )
+        else:
+            verdict = "FAILED -- erroneous states are reachable"
         lines = [
             "=" * 72,
             f"Verification of {res.spec.full_name or res.spec.name}",
             "=" * 72,
             res.spec.describe(),
             "",
-            f"Verdict: {'VERIFIED -- no erroneous state is reachable' if self.ok else 'FAILED -- erroneous states are reachable'}",
+            f"Verdict: {verdict}",
             f"Essential states: {len(res.essential)}    "
             f"state visits: {res.stats.visits}    "
             f"elapsed: {res.stats.elapsed*1000:.1f} ms",
@@ -100,6 +117,7 @@ def verify(
     stop_on_error: bool = False,
     validate_spec: bool = True,
     preflight: str = "off",
+    guard: "Guard | None" = None,
 ) -> VerificationReport:
     """Verify a protocol; the library's main entry point.
 
@@ -112,6 +130,11 @@ def verify(
     fires, ``"annotate"`` only attaches the findings to the returned
     report's ``lint`` field, ``"off"`` (the default) skips the
     analysis entirely.
+
+    ``guard`` bounds the expansion with a cooperative
+    :class:`~repro.engine.guard.Guard`: an exhausted budget yields a
+    *partial* report (``report.partial``) instead of raising, and
+    ``max_visits`` is ignored in favour of the guard's own budgets.
     """
     if preflight not in ("off", "reject", "annotate"):
         raise ValueError(
@@ -141,5 +164,6 @@ def verify(
         pruning=pruning,
         max_visits=max_visits,
         stop_on_error=stop_on_error,
+        guard=guard,
     )
     return VerificationReport(result, lint=lint_report)

@@ -11,9 +11,17 @@ engine with
 * a crash-isolated multiprocessing pool with per-job timeouts and
   bounded retries (:class:`ParallelRunner`, serial fallback included),
 * a persistent content-addressed result cache (:class:`ResultCache`)
-  so re-running a zoo or mutant sweep only verifies changed specs, and
+  so re-running a zoo or mutant sweep only verifies changed specs,
 * a structured JSONL run journal (:class:`RunJournal`) with an
-  end-of-run summary table.
+  end-of-run summary table,
+* cooperative resource budgets (:class:`Budget` / :class:`Guard`) that
+  degrade exhausted runs into first-class *partial* results instead of
+  errors, with crash-safe incremental journaling so interrupted
+  batches resume via ``run_batch(..., resume=RunJournal.read(path))``,
+  and
+* a deterministic fault-injection harness (:mod:`repro.engine.faults`)
+  that the chaos tests use to prove all of the above under worker
+  crashes, hangs, torn journals and corrupt cache entries.
 
 Quickstart::
 
@@ -30,6 +38,7 @@ The CLI front end is ``repro batch`` (see ``repro batch --help``), and
 from .batch import BatchReport, run_batch
 from .cache import ResultCache, default_cache_dir
 from .fingerprint import ENGINE_VERSION, job_key, spec_fingerprint
+from .guard import Budget, Exhaustion, ExhaustionReason, Guard, current_rss_mb
 from .job import JobResult, JobStatus, VerificationJob, execute_job
 from .journal import RunJournal
 from .runner import ParallelRunner, SerialRunner, make_runner
@@ -37,6 +46,10 @@ from .runner import ParallelRunner, SerialRunner, make_runner
 __all__ = [
     "ENGINE_VERSION",
     "BatchReport",
+    "Budget",
+    "Exhaustion",
+    "ExhaustionReason",
+    "Guard",
     "JobResult",
     "JobStatus",
     "ParallelRunner",
@@ -44,6 +57,7 @@ __all__ = [
     "RunJournal",
     "SerialRunner",
     "VerificationJob",
+    "current_rss_mb",
     "default_cache_dir",
     "execute_job",
     "job_key",

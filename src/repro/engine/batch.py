@@ -12,6 +12,14 @@ and persists fresh results back into the cache:
 The returned :class:`BatchReport` keeps results in input-job order (so
 serial and parallel runs compare equal), knows the CLI exit status and
 renders the end-of-run summary table.
+
+Robustness: results are journaled and cached *incrementally*, the
+moment each job finishes -- not at the end of the run -- so a batch
+killed at job ``k`` keeps its first ``k`` results.  A ``SIGINT``
+flushes a ``run_aborted`` event before re-raising, and
+``resume=RunJournal.read(path)`` replays the finished jobs of an
+interrupted run (through the journal for terminal errors and through
+the result cache for verdicts), re-dispatching only the remainder.
 """
 
 from __future__ import annotations
@@ -60,7 +68,14 @@ class BatchReport:
     @property
     def errors(self) -> int:
         """Jobs that errored, timed out, crashed or were rejected."""
-        return sum(1 for r in self.results if not r.completed)
+        return sum(
+            1 for r in self.results if not r.completed and not r.partial
+        )
+
+    @property
+    def partials(self) -> int:
+        """Jobs whose budgets expired: partial, inconclusive results."""
+        return sum(1 for r in self.results if r.partial)
 
     @property
     def rejected(self) -> int:
@@ -79,8 +94,14 @@ class BatchReport:
 
     @property
     def exit_code(self) -> int:
-        """CLI exit status: 0 ok, 1 violations found, 2 job errors."""
-        if self.errors:
+        """CLI exit status: 0 ok, 1 violations found, 2 job errors.
+
+        Partial results count as errors here: the batch did not fully
+        verify everything, so success cannot be claimed -- but any
+        violations found before a budget expired are definitive and
+        take the dedicated status.
+        """
+        if self.errors or self.partials:
             return 2
         if self.violations:
             return 1
@@ -143,6 +164,8 @@ class BatchReport:
             f"{len(self.results)} jobs: {self.verified} verified, "
             f"{self.violations} with violations, {self.errors} errors"
         )
+        if self.partials:
+            line += f", {self.partials} partial"
         if self.rejected:
             line += f" ({self.rejected} rejected by preflight)"
         line += f"; {self.cache_hits} cache hits"
@@ -160,8 +183,10 @@ def run_batch(
     journal: RunJournal | None = None,
     timeout: float | None = None,
     retries: int = 1,
+    grace: float | None = None,
     runner: SerialRunner | ParallelRunner | None = None,
     preflight: str | None = None,
+    resume: Sequence[dict[str, Any]] | None = None,
 ) -> BatchReport:
     """Verify every job, reusing cached results and journaling the run.
 
@@ -180,14 +205,31 @@ def run_batch(
         Per-job wall-clock budget and retry bound for timed-out or
         crashed jobs (timeouts need ``workers >= 1`` processes, see
         :class:`~repro.engine.runner.SerialRunner`).
+    grace:
+        Soft-cancel window for timed-out workers: how long they get to
+        emit a partial result before SIGKILL (parallel runners only;
+        ``None`` keeps the runner default).
     runner:
         Explicit runner instance (overrides ``workers``/``timeout``/
-        ``retries``); used by tests to compare execution strategies.
+        ``retries``/``grace``); used by tests to compare execution
+        strategies.
     preflight:
         Override every job's ``preflight`` mode (``"off"``,
         ``"reject"`` or ``"annotate"``); ``None`` honours the per-job
         setting.  Preflight runs in *this* process, before cache lookup
         and worker dispatch: a rejected job never reaches a worker.
+    resume:
+        Event stream of an interrupted run (``RunJournal.read(path)``):
+        jobs whose ``job_finish`` record carries a terminal
+        ``error``/``rejected`` status are adopted from the journal
+        without re-dispatching; verified / violation / partial verdicts
+        replay through the result cache as usual; timed-out and crashed
+        jobs -- and anything the interrupt cut short -- are re-run.
+
+    A ``KeyboardInterrupt`` mid-dispatch flushes a ``run_aborted``
+    event (results finished so far are already journaled and cached --
+    both happen incrementally) and re-raises, so the run can later be
+    picked up with ``resume``.
     """
     if preflight not in (None, "off", "reject", "annotate"):
         raise ValueError(
@@ -219,6 +261,29 @@ def run_batch(
         preflight=preflight,
     )
 
+    # A resumed run adopts the prior journal's terminal error/rejected
+    # records outright; everything else goes through normal admission
+    # (where the incremental cache turns finished verdicts into hits).
+    replayable: dict[str, dict[str, Any]] = {}
+    if resume is not None:
+        finished_prior: dict[str, dict[str, Any]] = {}
+        for record in resume:
+            if record.get("event") == "job_finish" and "job" in record:
+                finished_prior[record["job"]] = record
+        replayable = {
+            label: record
+            for label, record in finished_prior.items()
+            if record.get("status") in (JobStatus.ERROR, JobStatus.REJECTED)
+        }
+        journal.emit(
+            "run_resume",
+            journal=str(journal.path) if journal.path is not None else None,
+            completed=len(finished_prior),
+            remaining=sum(
+                1 for job in jobs if job.label not in finished_prior
+            ),
+        )
+
     results: list[JobResult | None] = [None] * len(jobs)
     fingerprints: dict[int, str] = {}
     lint_findings: dict[int, list[dict[str, Any]]] = {}
@@ -226,6 +291,20 @@ def run_batch(
 
     with coll.span("batch.admit", jobs=len(jobs)) if coll is not None else NOOP_SPAN:
         for i, job in enumerate(jobs):
+            prior = replayable.get(job.label)
+            if prior is not None:
+                results[i] = JobResult(
+                    job,
+                    prior["status"],
+                    error=prior.get("error"),
+                    attempts=int(prior.get("attempts", 1)),
+                    elapsed=float(prior.get("elapsed", 0.0)),
+                )
+                journal.emit(
+                    "job_replayed", job=job.label, status=prior["status"]
+                )
+                _finish(journal, results[i])
+                continue
             mode = preflight if preflight is not None else job.preflight
             if mode != "off":
                 try:
@@ -269,23 +348,43 @@ def run_batch(
 
     if to_run:
         if runner is None:
-            runner = make_runner(workers=workers, timeout=timeout, retries=retries)
-        with (
-            coll.span("batch.dispatch", jobs=len(to_run))
-            if coll is not None
-            else NOOP_SPAN
-        ):
-            fresh = runner.run(
-                [jobs[i] for i in to_run],
-                on_event=lambda event, fields: journal.emit(event, **fields),
+            runner = make_runner(
+                workers=workers, timeout=timeout, retries=retries, grace=grace
             )
-        for i, result in zip(to_run, fresh):
+
+        def on_result(k: int, result: JobResult) -> None:
+            # Cache then journal the moment a job finishes: a batch
+            # killed mid-run keeps everything finished so far, and a
+            # journaled job_finish always implies the cache entry
+            # (when cacheable) already landed -- which is what lets a
+            # resumed run trust the journal.
+            i = to_run[k]
             result.fingerprint = fingerprints[i]
             result.lint = lint_findings.get(i)
             results[i] = result
-            _finish(journal, result)
             if cache is not None:
                 cache.put(fingerprints[i], jobs[i], result)
+            _finish(journal, result)
+
+        try:
+            with (
+                coll.span("batch.dispatch", jobs=len(to_run))
+                if coll is not None
+                else NOOP_SPAN
+            ):
+                runner.run(
+                    [jobs[i] for i in to_run],
+                    on_event=lambda event, fields: journal.emit(event, **fields),
+                    on_result=on_result,
+                )
+        except KeyboardInterrupt:
+            journal.emit(
+                "run_aborted",
+                jobs=len(jobs),
+                finished=sum(1 for r in results if r is not None),
+            )
+            journal.close()
+            raise
 
     final = [r for r in results if r is not None]
     assert len(final) == len(jobs)
@@ -300,6 +399,7 @@ def run_batch(
         verified=report.verified,
         violations=report.violations,
         errors=report.errors,
+        partials=report.partials,
         rejected=report.rejected,
         cache_hits=report.cache_hits,
         cache_lookups=(
@@ -399,6 +499,10 @@ def _finish(journal: RunJournal, result: JobResult) -> None:
     stats: dict[str, Any] = (
         result.payload.get("stats", {}) if result.payload else {}
     )
+    if result.partial:
+        coll = _active_collector()
+        if coll is not None:
+            coll.count("engine.partial")
     journal.emit(
         "job_finish",
         job=result.job.label,

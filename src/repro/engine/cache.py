@@ -11,10 +11,20 @@ Re-running a zoo or mutant sweep therefore only verifies specs whose
 hit the cache.
 
 Entries are written atomically (temp file + ``os.replace``) so a
-killed run never leaves a torn entry; unreadable or mismatched entries
-are treated as misses and rewritten.  The default root is
-``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
-``~/.cache/repro``.
+killed run never leaves a torn entry; a *corrupt* entry (unparsable
+JSON or the wrong shape) is quarantined -- moved aside to
+``<key>.json.quarantined`` for post-mortem -- and treated as a miss,
+so one flipped bit can never wedge a sweep or be replayed as a
+verdict.  The default root is ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.
+
+Partial results (budget-exhausted runs) are cached too, flagged with
+``"partial": true``; since the budgets are part of the job key, a
+partial entry is only replayed for a job requesting the same budgets,
+and it replays as *partial* -- never as a verified verdict.  Partials
+whose exhaustion reason is ``cancelled`` are **not** cached: the
+cancellation came from the runner's wall-clock timeout, which is not
+part of the key, so caching them would poison unrelated runs.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ class ResultCache:
         self.root = Path(root).expanduser() if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def key_for(self, fingerprint: str, job: VerificationJob) -> str:
@@ -62,19 +73,32 @@ class ResultCache:
     def get(self, fingerprint: str, job: VerificationJob) -> JobResult | None:
         """Replay *job*'s result from the cache, or ``None`` on a miss.
 
-        A corrupted or shape-mismatched entry counts as a miss (it will
-        be overwritten by the fresh result).
+        A missing entry is a plain miss.  A *corrupt* entry -- torn
+        JSON, a non-dict payload, an unknown status, or a partial
+        record without its ``partial`` marker -- is quarantined (moved
+        aside to ``<key>.json.quarantined``) and then counts as a
+        miss, so the fresh result can land cleanly.
         """
         key = self.key_for(fingerprint, job)
         path = self._path(key)
         coll = _active_collector()
         try:
-            record = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            if coll is not None:
+                coll.count("engine.cache.misses")
+            return None
+        try:
+            record = json.loads(text)
             status = record["status"]
             payload = record["payload"]
-            if status not in JobStatus.COMPLETED or not isinstance(payload, dict):
+            if status not in JobStatus.WITH_PAYLOAD or not isinstance(payload, dict):
                 raise ValueError("malformed cache entry")
-        except (OSError, ValueError, KeyError, TypeError):
+            if (status == JobStatus.PARTIAL) != bool(record.get("partial")):
+                raise ValueError("partial marker does not match status")
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             if coll is not None:
                 coll.count("engine.cache.misses")
@@ -86,14 +110,34 @@ class ResultCache:
             job,
             status,
             payload=payload,
+            error=record.get("error"),
             elapsed=float(record.get("elapsed", 0.0)),
             cached=True,
             fingerprint=fingerprint,
         )
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside for post-mortem inspection."""
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantined"))
+        except OSError:
+            return
+        self.quarantined += 1
+        coll = _active_collector()
+        if coll is not None:
+            coll.count("engine.cache.quarantined")
+
     def put(self, fingerprint: str, job: VerificationJob, result: JobResult) -> None:
-        """Store a completed result (no-op for errors/timeouts/crashes)."""
-        if not result.completed or result.payload is None:
+        """Store a completed or partial result.
+
+        No-op for errors/timeouts/crashes, and for partials whose
+        exhaustion reason is ``cancelled`` -- those stopped because of
+        the runner's per-job timeout, which is not part of the job
+        key, so caching them would poison runs with other timeouts.
+        """
+        if result.status not in JobStatus.WITH_PAYLOAD or result.payload is None:
+            return
+        if result.partial and result.exhausted_reason == "cancelled":
             return
         key = self.key_for(fingerprint, job)
         path = self._path(key)
@@ -107,6 +151,9 @@ class ResultCache:
             "elapsed": result.elapsed,
             "payload": result.payload,
         }
+        if result.partial:
+            record["partial"] = True
+            record["error"] = result.error
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )

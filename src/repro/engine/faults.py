@@ -1,0 +1,248 @@
+"""Deterministic fault injection for the batch engine's chaos tests.
+
+Robustness claims ("a crashing worker cannot take down a sweep", "an
+interrupted batch resumes where it stopped") are worthless untested,
+and untestable with real faults -- segfaults and SIGKILLs do not strike
+reproducibly.  This module makes failure a *plan*: every fault is keyed
+by job index under a fixed seed, so a chaos test runs the same disaster
+twice and asserts the same recovery.
+
+Ingredients:
+
+* :class:`Fault` / :class:`FaultPlan` -- which jobs fail and how
+  (``crash`` the worker, ``hang`` until SIGKILL, run ``slow`` enough to
+  trip the runner's soft-cancel);
+* :class:`FaultedSpec` -- a delegating protocol wrapper that detonates
+  the fault inside ``react`` **only in worker processes**: the parent
+  fingerprints the very same spec (``spec_to_dict`` exercises every
+  reaction) without triggering it;
+* :func:`inject` -- apply a plan to a job list;
+* :func:`corrupt_cache_entry` / :func:`tear_journal` -- storage-level
+  faults: a flipped-bit cache entry and a journal whose final line was
+  cut mid-write;
+* :class:`KillSwitchJournal` -- a journal that raises
+  ``KeyboardInterrupt`` after *n* ``job_finish`` events, simulating an
+  operator's Ctrl-C at a precise point in the run.
+
+Worker-only detonation relies on process names: ``multiprocessing``
+children are never called ``MainProcess``.  Faults therefore require a
+:class:`~repro.engine.runner.ParallelRunner`; under a serial runner a
+faulted spec behaves exactly like its inner spec.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.protocol import ProtocolSpec
+from ..core.reactions import Ctx, Outcome
+from ..core.symbols import Op
+from .cache import ResultCache
+from .job import VerificationJob
+from .journal import RunJournal
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultedSpec",
+    "inject",
+    "corrupt_cache_entry",
+    "tear_journal",
+    "KillSwitchJournal",
+]
+
+#: Supported fault kinds.
+FAULT_KINDS = ("crash", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure mode.
+
+    ``crash`` kills the worker with ``os._exit`` (simulating a
+    segfault or OOM-kill: no exception, no cleanup); ``hang`` spins
+    forever ignoring everything except SIGKILL; ``slow`` sleeps
+    ``delay`` seconds in *every* reaction, so the job runs -- and
+    cooperates with soft-cancel -- but cannot finish within a tight
+    timeout.
+    """
+
+    kind: str
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, not {self.kind!r}"
+            )
+
+
+class FaultPlan:
+    """Deterministic assignment of faults to job indices."""
+
+    def __init__(
+        self, faults: Mapping[int, Fault] | None = None, *, seed: int = 0
+    ) -> None:
+        self.faults = dict(faults or {})
+        self.seed = seed
+
+    @classmethod
+    def random(
+        cls,
+        n_jobs: int,
+        *,
+        seed: int,
+        rate: float = 0.25,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """A reproducible random plan: same seed, same disasters."""
+        rng = random.Random(seed)
+        faults = {
+            i: Fault(rng.choice(list(kinds)))
+            for i in range(n_jobs)
+            if rng.random() < rate
+        }
+        return cls(faults, seed=seed)
+
+    def fault_for(self, index: int) -> Fault | None:
+        """The fault planned for job *index* (``None`` for sound jobs)."""
+        return self.faults.get(index)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+class FaultedSpec(ProtocolSpec):
+    """Delegating wrapper that detonates a :class:`Fault` in workers.
+
+    Everything -- states, error patterns, reactions -- forwards to the
+    inner specification, so in the parent process (fingerprinting,
+    preflight, validation) the wrapper is behaviourally identical to
+    its inner spec.  Inside a worker process, ``react`` triggers the
+    fault instead.  The name is suffixed with the fault kind so a
+    faulted spec never shares a fingerprint with its sound original.
+    """
+
+    def __init__(self, inner: ProtocolSpec, fault: Fault) -> None:
+        self.inner = inner
+        self.fault = fault
+        self.name = f"{inner.name}+fault-{fault.kind}"
+        self.full_name = f"{inner.full_name or inner.name} (faulted: {fault.kind})"
+        self.states = inner.states
+        self.invalid = inner.invalid
+        self.uses_sharing_detection = inner.uses_sharing_detection
+        self.operations = inner.operations
+        self.error_patterns = inner.error_patterns
+        self.owner_states = inner.owner_states
+        self.exclusive_states = inner.exclusive_states
+        self.shared_fill_state = inner.shared_fill_state
+
+    def applicable(self, state: str, op: Op) -> bool:
+        return self.inner.applicable(state, op)
+
+    def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
+        if _in_worker():
+            if self.fault.kind == "crash":
+                os._exit(13)
+            if self.fault.kind == "hang":
+                while True:  # pragma: no cover - ended by SIGKILL
+                    time.sleep(0.05)
+            time.sleep(self.fault.delay)
+        return self.inner.react(state, op, ctx)
+
+
+def inject(
+    jobs: Sequence[VerificationJob], plan: FaultPlan
+) -> list[VerificationJob]:
+    """Apply *plan* to a job list: planned jobs get a faulted spec.
+
+    Labels are preserved so journals, caches and resume logic address
+    the faulted jobs exactly like their sound counterparts.
+    """
+    out: list[VerificationJob] = []
+    for i, job in enumerate(jobs):
+        fault = plan.fault_for(i)
+        if fault is None:
+            out.append(job)
+            continue
+        out.append(
+            replace(
+                job,
+                protocol=None,
+                mutant=None,
+                spec_file=None,
+                spec=FaultedSpec(job.resolve_spec(), fault),
+                label=job.label,
+            )
+        )
+    return out
+
+
+def corrupt_cache_entry(
+    cache: ResultCache,
+    fingerprint: str,
+    job: VerificationJob,
+    payload: str = '{"status": "verified", "payload": [1,',
+) -> Path:
+    """Overwrite *job*'s cache entry with garbage; returns its path.
+
+    The default payload is torn JSON; pass valid-JSON-wrong-shape text
+    to exercise the shape checks instead of the parser.
+    """
+    key = cache.key_for(fingerprint, job)
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(payload, encoding="utf-8")
+    return path
+
+
+def tear_journal(path: str | Path, *, drop_bytes: int = 7) -> None:
+    """Cut the final *drop_bytes* bytes off a journal file.
+
+    Simulates a run killed mid-``write``: the last JSONL line is left
+    torn, which :meth:`RunJournal.read` must skip while recovering
+    every complete line before it.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    with path.open("rb+") as fh:
+        fh.truncate(max(0, size - drop_bytes))
+
+
+class KillSwitchJournal(RunJournal):
+    """A journal that pulls the plug after *after* ``job_finish`` events.
+
+    The interrupt fires *after* the triggering event is fully written
+    and flushed -- exactly like an operator's Ctrl-C between jobs --
+    and only once, so the batch orchestrator's ``run_aborted``
+    handling can still journal the abort.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        after: int,
+        mode: str = "new",
+    ) -> None:
+        super().__init__(path, mode=mode)
+        self.after = int(after)
+        self.fired = False
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        record = super().emit(event, **fields)
+        if (
+            not self.fired
+            and event == "job_finish"
+            and self.count("job_finish") >= self.after
+        ):
+            self.fired = True
+            raise KeyboardInterrupt
+        return record

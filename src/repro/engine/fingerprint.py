@@ -33,7 +33,9 @@ __all__ = [
 #: Version of the engine's result payload / fingerprint semantics.
 #: Bump whenever :func:`spec_to_dict` or :func:`result_to_dict` change
 #: shape, so stale cache entries are never replayed.
-ENGINE_VERSION = "1"
+#: "2": budgets joined the job key and payloads may carry a
+#: ``partial`` section.
+ENGINE_VERSION = "2"
 
 
 def canonical_json(payload: Any) -> str:
@@ -54,7 +56,9 @@ def job_key(fingerprint: str, job: VerificationJob) -> str:
     Only option fields that influence the verification result
     participate; the spec itself is represented by its fingerprint, so
     e.g. a registry job and a DSL job for behaviourally identical specs
-    share an entry.
+    share an entry.  The resource budgets participate because an
+    exhausted budget produces a *partial* payload: a partial result may
+    only be replayed for a job that requested the very same budgets.
     """
     return hashlib.sha256(
         canonical_json(
@@ -64,6 +68,9 @@ def job_key(fingerprint: str, job: VerificationJob) -> str:
                 "augmented": job.augmented,
                 "pruning": job.pruning,
                 "max_visits": job.max_visits,
+                "deadline": job.deadline,
+                "max_states": job.max_states,
+                "max_rss_mb": job.max_rss_mb,
             }
         ).encode("utf-8")
     ).hexdigest()

@@ -24,6 +24,7 @@ from ..core.essential import PruningMode
 from ..core.protocol import ProtocolSpec
 from ..core.serialize import result_to_dict
 from ..core.verifier import verify
+from .guard import Budget, Guard, _CancelFlag
 
 __all__ = [
     "JobStatus",
@@ -43,10 +44,16 @@ class JobStatus:
     CRASH = "crash"
     #: The lint preflight refused to dispatch a statically-broken spec.
     REJECTED = "rejected"
+    #: A guard budget (deadline, visits, states, RSS, soft-cancel)
+    #: expired before the fixpoint: the payload carries everything
+    #: computed so far, but the verdict is inconclusive.
+    PARTIAL = "partial"
 
     #: Statuses for which a verification actually completed and
     #: produced a payload.
     COMPLETED = (VERIFIED, VIOLATION)
+    #: Statuses that carry a (possibly partial) verification payload.
+    WITH_PAYLOAD = (VERIFIED, VIOLATION, PARTIAL)
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,13 @@ class VerificationJob:
     findings on the result but verifies anyway, ``"off"`` (the
     default) skips the analysis.  Preflight never changes a verdict,
     so it is deliberately *not* part of the cache key.
+
+    ``deadline`` / ``max_visits`` / ``max_states`` / ``max_rss_mb``
+    are the job's cooperative resource budgets (see
+    :mod:`repro.engine.guard`): an exhausted budget yields a
+    structured ``partial`` result instead of an error.  They *are*
+    part of the cache key -- a partial result is only replayed for a
+    job requesting the same budgets.
     """
 
     protocol: str | None = None
@@ -76,6 +90,9 @@ class VerificationJob:
     max_visits: int = 1_000_000
     validate_spec: bool = False
     preflight: str = "off"
+    deadline: float | None = None
+    max_states: int | None = None
+    max_rss_mb: float | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -143,7 +160,19 @@ class VerificationJob:
             "max_visits": self.max_visits,
             "validate_spec": self.validate_spec,
             "preflight": self.preflight,
+            "deadline": self.deadline,
+            "max_states": self.max_states,
+            "max_rss_mb": self.max_rss_mb,
         }
+
+    def budget(self) -> Budget:
+        """The cooperative resource budget this job runs under."""
+        return Budget(
+            deadline=self.deadline,
+            max_visits=self.max_visits,
+            max_states=self.max_states,
+            max_rss_mb=self.max_rss_mb,
+        )
 
 
 @dataclass
@@ -173,6 +202,18 @@ class JobResult:
         return self.status in JobStatus.COMPLETED
 
     @property
+    def partial(self) -> bool:
+        """True iff a budget expired and this is a partial result."""
+        return self.status == JobStatus.PARTIAL
+
+    @property
+    def exhausted_reason(self) -> str | None:
+        """Why a partial result stopped early (``None`` otherwise)."""
+        if self.status != JobStatus.PARTIAL or not self.payload:
+            return None
+        return (self.payload.get("partial") or {}).get("reason")
+
+    @property
     def ok(self) -> bool:
         """True iff the specification verified cleanly."""
         return self.status == JobStatus.VERIFIED
@@ -187,32 +228,55 @@ class JobResult:
             JobStatus.TIMEOUT: "TIMEOUT",
             JobStatus.CRASH: "CRASH",
             JobStatus.REJECTED: "REJECTED",
+            JobStatus.PARTIAL: "PARTIAL",
         }[self.status]
 
 
-def execute_job(job: VerificationJob) -> JobResult:
-    """Run one job to completion in the current process.
+def execute_job(
+    job: VerificationJob, *, cancel: "_CancelFlag | None" = None
+) -> JobResult:
+    """Run one job to completion (or budget exhaustion) in this process.
 
     Never raises: resolution or verification failures are folded into
     an ``error``-status result so one bad specification cannot abort a
     sweep (the parallel runner additionally guards against crashes and
     hangs at the process level).
+
+    The job's budgets run under a :class:`~repro.engine.guard.Guard`,
+    so an exhausted budget -- or an external soft-cancel via
+    ``cancel``, which is how a timed-out worker is asked to wrap up
+    before the SIGKILL deadline -- yields a structured ``partial``
+    result carrying the essential-set-so-far and the frontier.  Any
+    violations found before exhaustion are definitive, so a partial
+    run that found one still reports ``violation``.
     """
     started = clock.monotonic()
     try:
         spec = job.resolve_spec()
+        guard = Guard(job.budget(), cancel=cancel)
         report = verify(
             spec,
             augmented=job.augmented,
             pruning=PruningMode(job.pruning),
-            max_visits=job.max_visits,
             validate_spec=job.validate_spec,
+            guard=guard,
         )
-        status = JobStatus.VERIFIED if report.ok else JobStatus.VIOLATION
+        result = report.result
+        if result.violations:
+            status = JobStatus.VIOLATION
+        elif result.partial:
+            status = JobStatus.PARTIAL
+        else:
+            status = JobStatus.VERIFIED
         return JobResult(
             job,
             status,
-            payload=result_to_dict(report.result),
+            payload=result_to_dict(result),
+            error=(
+                result.exhausted.describe()
+                if result.partial and result.exhausted is not None
+                else None
+            ),
             elapsed=clock.monotonic() - started,
         )
     except Exception as exc:  # noqa: BLE001 - isolation is the point

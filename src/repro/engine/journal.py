@@ -10,35 +10,53 @@ acceptance check ("zero re-verifications") is literally a count of
 
 Event vocabulary (all events carry ``t``, a Unix timestamp):
 
-========== =================================================================
-event      extra fields
-========== =================================================================
-run_start  jobs, workers, engine, cache_dir, journal, preflight
-job_start  job, fingerprint
-lint       job, mode, errors, warnings, infos, suppressed, findings
-           (the static-analysis preflight; ``findings`` are
-           ``Diagnostic.to_dict()`` records)
-cache_hit  job, key
-job_retry  job, attempt, reason
+=========== ================================================================
+event       extra fields
+=========== ================================================================
+run_start   jobs, workers, engine, cache_dir, journal, preflight
+run_resume  journal, completed, remaining (a ``--resume`` run replaying
+            the finished jobs of an interrupted batch)
+job_start   job, fingerprint
+lint        job, mode, errors, warnings, infos, suppressed, findings
+            (the static-analysis preflight; ``findings`` are
+            ``Diagnostic.to_dict()`` records)
+cache_hit   job, key
+job_retry   job, attempt, reason
+job_cancel  job, attempt, timeout, grace (soft-cancel: the worker was
+            asked to wrap up and emit a partial result before SIGKILL)
 job_timeout job, attempt, timeout
-job_crash  job, attempt, exitcode
-job_finish job, status, ok, cached, attempts, elapsed, visits, expanded,
-           essential, error
-run_end    jobs, verified, violations, errors, rejected, cache_hits,
-           cache_lookups ({hits, misses} from the result cache, or null
-           when the run had no cache), wall, metrics (a
-           ``repro.obs`` metrics snapshot when the run was profiled,
-           else null)
-========== =================================================================
+job_crash   job, attempt, exitcode
+job_partial job, reason, attempt (a budget-exhausted worker returned a
+            structured partial result)
+job_replayed job, status (a resumed run adopting a terminal
+            error/rejected record from the prior journal)
+job_finish  job, status, ok, cached, attempts, elapsed, visits, expanded,
+            essential, error
+run_aborted jobs, finished (the batch was interrupted -- SIGINT --
+            after ``finished`` jobs; the journal is flushed so the run
+            can be resumed)
+run_end     jobs, verified, violations, errors, partials, rejected,
+            cache_hits,
+            cache_lookups ({hits, misses} from the result cache, or null
+            when the run had no cache), wall, metrics (a
+            ``repro.obs`` metrics snapshot when the run was profiled,
+            else null)
+=========== ================================================================
 
 Timestamps come from :func:`repro.obs.clock.wall` -- the engine's one
 wall-clock source -- while durations inside events (``elapsed``,
 ``wall``) are measured on the monotonic clock by their producers.
+
+The file backing is crash-safe by construction: every event is one
+``write`` + ``flush`` of a full line, so a killed run leaves at worst
+one torn final line, which :meth:`RunJournal.read` skips (with a
+warning) when recovering the stream for ``--resume``.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, IO
 
@@ -48,15 +66,76 @@ __all__ = ["RunJournal"]
 
 
 class RunJournal:
-    """Collect (and optionally persist) the event stream of one run."""
+    """Collect (and optionally persist) the event stream of one run.
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    ``mode`` controls what happens when ``path`` already exists:
+
+    * ``"new"`` (the default) refuses to clobber an existing non-empty
+      journal -- an interrupted run's journal is the only thing that
+      makes it resumable, so overwriting one silently would destroy
+      exactly the runs that need it most;
+    * ``"append"`` continues an existing journal (used by
+      ``repro batch --resume``);
+    * ``"overwrite"`` restores the old clobbering behaviour for
+      callers that explicitly want a fresh file.
+    """
+
+    def __init__(
+        self, path: str | Path | None = None, *, mode: str = "new"
+    ) -> None:
+        if mode not in ("new", "append", "overwrite"):
+            raise ValueError(
+                f"journal mode must be 'new', 'append' or 'overwrite', "
+                f"not {mode!r}"
+            )
         self.path = Path(path) if path is not None else None
         self.events: list[dict[str, Any]] = []
         self._fh: IO[str] | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w", encoding="utf-8")
+            if mode == "new" and self.path.exists() and self.path.stat().st_size:
+                raise FileExistsError(
+                    f"journal {self.path} already exists; resume the run "
+                    "with --resume, or pass mode='overwrite' to discard it"
+                )
+            self._fh = self.path.open("a" if mode == "append" else "w",
+                                      encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def read(cls, path: str | Path) -> list[dict[str, Any]]:
+        """Recover the event stream of a (possibly torn) journal file.
+
+        A run killed mid-write leaves at most one torn trailing line;
+        it is skipped with a :class:`RuntimeWarning`.  A corrupt line
+        *followed by* valid events means the file was damaged some
+        other way -- also skipped, also warned about -- so recovery
+        always yields every decodable event in order.
+        """
+        events: list[dict[str, Any]] = []
+        text = Path(path).read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("journal line is not an object")
+            except (ValueError, TypeError):
+                kind = (
+                    "torn trailing line"
+                    if lineno == len(lines)
+                    else f"corrupt line {lineno}"
+                )
+                warnings.warn(
+                    f"journal {path}: skipping {kind}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            events.append(record)
+        return events
 
     # ------------------------------------------------------------------
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:

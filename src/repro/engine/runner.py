@@ -8,17 +8,27 @@ small sweeps on small machines.
 processes, each connected to the parent by its own duplex pipe.  Jobs
 are dispatched one at a time to idle workers; the parent multiplexes
 completions with :func:`multiprocessing.connection.wait` and enforces
-a per-job wall-clock timeout by terminating the worker and respawning
-a fresh one.  A worker that dies mid-job (segfault, ``os._exit``,
-OOM-kill) is likewise detected through its closed pipe, so one
-pathological specification can never take down a sweep.  Timed-out and
-crashed jobs are retried a bounded number of times before being
-reported as ``timeout``/``crash`` results; deterministic in-job
-exceptions are *not* retried (they are folded into ``error`` results
-by :func:`~repro.engine.job.execute_job` inside the worker).
+a per-job wall-clock timeout in two stages.  First a **soft cancel**:
+the worker's shared cancel flag is set, which the job's guard polls
+from the hot loop, so a cooperative job wraps up and returns a
+*partial* result -- everything verified so far -- within a ``grace``
+window.  Only when the grace window also expires is the worker
+SIGKILLed and respawned.  A worker that dies mid-job (segfault,
+``os._exit``, OOM-kill) is likewise detected through its closed pipe,
+so one pathological specification can never take down a sweep.
+Timed-out and crashed jobs are retried a bounded number of times
+before being reported as ``timeout``/``crash`` results; deterministic
+in-job exceptions are *not* retried (they are folded into ``error``
+results by :func:`~repro.engine.job.execute_job` inside the worker),
+and a partial result delivered during the grace window is terminal --
+re-running it against the same budgets would only exhaust them again.
 
 Results are always returned in input order, so serial and parallel
-execution of the same job list are interchangeable.
+execution of the same job list are interchangeable.  The optional
+``on_result`` callback fires the moment each job reaches its terminal
+result (in completion order, not input order): the batch orchestrator
+uses it to journal and cache incrementally, which is what makes an
+interrupted batch resumable.
 
 All timing (deadlines, per-job elapsed, queue wait) goes through
 :mod:`repro.obs.clock`, the same clock as the rest of the engine, so
@@ -43,10 +53,14 @@ from .job import JobResult, JobStatus, VerificationJob, execute_job
 
 __all__ = ["SerialRunner", "ParallelRunner", "make_runner"]
 
-#: Signature of the optional event sink (job_retry / job_timeout /
-#: job_crash notifications, forwarded to the run journal by the batch
-#: orchestrator).
+#: Signature of the optional event sink (job_retry / job_cancel /
+#: job_timeout / job_crash / job_partial notifications, forwarded to
+#: the run journal by the batch orchestrator).
 EventSink = Callable[[str, dict[str, Any]], None]
+
+#: Signature of the optional per-result sink: called with ``(input
+#: index, result)`` the moment a job reaches its terminal result.
+ResultSink = Callable[[int, "JobResult"], None]
 
 #: How long the parent blocks waiting for completions before checking
 #: deadlines again (seconds).
@@ -72,34 +86,52 @@ class SerialRunner:
         self,
         jobs: Sequence[VerificationJob],
         on_event: EventSink | None = None,
+        on_result: ResultSink | None = None,
     ) -> list[JobResult]:
         """Run every job; results are in input order."""
         coll = _active_collector()
-        if coll is None:
-            return [execute_job(job) for job in jobs]
-        coll.gauge("engine.workers", 1)
         run_started = clock.monotonic()
+        if coll is not None:
+            coll.gauge("engine.workers", 1)
         results = []
-        for job in jobs:
+        for index, job in enumerate(jobs):
             started = clock.monotonic()
-            coll.observe("engine.queue.wait", started - run_started)
+            if coll is not None:
+                coll.observe("engine.queue.wait", started - run_started)
             result = execute_job(job)
             ended = clock.monotonic()
-            coll.add_span(
-                "engine.job",
-                started,
-                ended=ended,
-                job=job.label,
-                status=result.status,
-            )
-            coll.observe("engine.job.elapsed", ended - started)
-            coll.count("engine.worker.busy_seconds", ended - started)
+            if coll is not None:
+                coll.add_span(
+                    "engine.job",
+                    started,
+                    ended=ended,
+                    job=job.label,
+                    status=result.status,
+                )
+                coll.observe("engine.job.elapsed", ended - started)
+                coll.count("engine.worker.busy_seconds", ended - started)
+            if result.partial and on_event is not None:
+                on_event(
+                    "job_partial",
+                    {
+                        "job": job.label,
+                        "reason": result.exhausted_reason,
+                        "attempt": 1,
+                    },
+                )
             results.append(result)
+            if on_result is not None:
+                on_result(index, result)
         return results
 
 
-def _worker_main(conn: Connection) -> None:
-    """Worker loop: receive ``(token, job)``, send ``(token, result)``."""
+def _worker_main(conn: Connection, cancel: Any = None) -> None:
+    """Worker loop: receive ``(token, job)``, send ``(token, result)``.
+
+    ``cancel`` is the slot's shared soft-cancel event: cleared before
+    each job (it may still be set from a previous grace window) and
+    handed to the job's guard, which polls it from the hot loop.
+    """
     while True:
         try:
             task = conn.recv()
@@ -109,7 +141,9 @@ def _worker_main(conn: Connection) -> None:
             conn.close()
             return
         token, job = task
-        result = execute_job(job)
+        if cancel is not None:
+            cancel.clear()
+        result = execute_job(job, cancel=cancel)
         try:
             conn.send((token, result))
         except (BrokenPipeError, OSError):
@@ -119,15 +153,32 @@ def _worker_main(conn: Connection) -> None:
 class _Slot:
     """One worker process and its dispatch state."""
 
-    __slots__ = ("proc", "conn", "token", "index", "attempt", "started")
+    __slots__ = (
+        "proc",
+        "conn",
+        "cancel",
+        "token",
+        "index",
+        "attempt",
+        "started",
+        "cancelled_at",
+    )
 
-    def __init__(self, proc: multiprocessing.process.BaseProcess, conn: Connection):
+    def __init__(
+        self,
+        proc: multiprocessing.process.BaseProcess,
+        conn: Connection,
+        cancel: Any = None,
+    ):
         self.proc = proc
         self.conn = conn
+        self.cancel = cancel
         self.token: int | None = None  # None <=> idle
         self.index = -1
         self.attempt = 0
         self.started = 0.0
+        #: When the soft-cancel was requested (``None`` <=> not yet).
+        self.cancelled_at: float | None = None
 
 
 class ParallelRunner:
@@ -139,6 +190,7 @@ class ParallelRunner:
         workers: int | None = None,
         timeout: float | None = None,
         retries: int = 1,
+        grace: float = 1.0,
         start_method: str | None = None,
     ) -> None:
         import os
@@ -146,6 +198,9 @@ class ParallelRunner:
         self.workers = max(1, int(workers or (os.cpu_count() or 1)))
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        #: Soft-cancel grace window (seconds): how long a timed-out
+        #: worker gets to emit its partial result before SIGKILL.
+        self.grace = max(0.0, float(grace))
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -154,12 +209,13 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     def _spawn(self) -> _Slot:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        cancel = self._ctx.Event()
         proc = self._ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
+            target=_worker_main, args=(child_conn, cancel), daemon=True
         )
         proc.start()
         child_conn.close()  # the parent keeps only its end
-        return _Slot(proc, parent_conn)
+        return _Slot(proc, parent_conn, cancel)
 
     def _retire(self, slot: _Slot) -> None:
         """Forcefully tear down a worker (timeout or crash path)."""
@@ -179,6 +235,7 @@ class ParallelRunner:
         self,
         jobs: Sequence[VerificationJob],
         on_event: EventSink | None = None,
+        on_result: ResultSink | None = None,
     ) -> list[JobResult]:
         """Run every job across the pool; results are in input order."""
         jobs = list(jobs)
@@ -217,6 +274,12 @@ class ParallelRunner:
         tokens = itertools.count()
         slots = [self._spawn() for _ in range(min(self.workers, len(jobs)))]
 
+        def finalize(index: int, result: JobResult) -> None:
+            """Record a terminal result and notify the result sink."""
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
+
         def fail_or_retry(slot: _Slot, status: str, error: str) -> None:
             """Requeue the job or finalize it after a timeout/crash."""
             reason = "timeout" if status == JobStatus.TIMEOUT else "crash"
@@ -230,12 +293,15 @@ class ParallelRunner:
                 )
                 pending.append((slot.index, slot.attempt + 1))
             else:
-                results[slot.index] = JobResult(
-                    jobs[slot.index],
-                    status,
-                    error=error,
-                    attempts=slot.attempt,
-                    elapsed=clock.monotonic() - slot.started,
+                finalize(
+                    slot.index,
+                    JobResult(
+                        jobs[slot.index],
+                        status,
+                        error=error,
+                        attempts=slot.attempt,
+                        elapsed=clock.monotonic() - slot.started,
+                    ),
                 )
             self._retire(slot)
             slots[slots.index(slot)] = self._spawn()
@@ -288,16 +354,49 @@ class ParallelRunner:
                         continue
                     record_job(slot, result.status)
                     result.attempts = slot.attempt
-                    results[slot.index] = result
+                    if result.partial:
+                        # Terminal, whether the budget was the job's own
+                        # or the soft-cancel: retrying against the same
+                        # budgets would only exhaust them again.
+                        emit(
+                            "job_partial",
+                            job=jobs[slot.index].label,
+                            reason=result.exhausted_reason,
+                            attempt=slot.attempt,
+                        )
+                    finalize(slot.index, result)
                     slot.token = None
+                    slot.cancelled_at = None
 
                 if self.timeout is not None:
                     now = clock.monotonic()
                     for slot in list(slots):
+                        if slot.token is None:
+                            continue
                         if (
-                            slot.token is not None
+                            slot.cancelled_at is None
                             and now - slot.started > self.timeout
                         ):
+                            # Stage one: ask nicely.  The worker's guard
+                            # polls the cancel flag and, if the job
+                            # cooperates, sends back a partial result
+                            # within the grace window.
+                            slot.cancel.set()
+                            slot.cancelled_at = now
+                            emit(
+                                "job_cancel",
+                                job=jobs[slot.index].label,
+                                attempt=slot.attempt,
+                                timeout=self.timeout,
+                                grace=self.grace,
+                            )
+                        elif (
+                            slot.cancelled_at is not None
+                            and now - slot.cancelled_at > self.grace
+                        ):
+                            # Stage two: the job ignored the soft-cancel
+                            # (hung in native code, spinning in react());
+                            # SIGKILL the worker and retry or report.
                             emit(
                                 "job_timeout",
                                 job=jobs[slot.index].label,
@@ -327,13 +426,19 @@ def make_runner(
     workers: int = 1,
     timeout: float | None = None,
     retries: int = 1,
+    grace: float | None = None,
 ) -> SerialRunner | ParallelRunner:
     """The right runner for the requested parallelism.
 
     One worker and no timeout stays in-process (serial fallback); more
     workers -- or any timeout, which needs process isolation to be
-    enforceable -- builds a :class:`ParallelRunner`.
+    enforceable -- builds a :class:`ParallelRunner`.  ``grace`` is the
+    soft-cancel window granted to timed-out workers (parallel only).
     """
     if workers <= 1 and timeout is None:
         return SerialRunner(retries=retries)
-    return ParallelRunner(workers=workers, timeout=timeout, retries=retries)
+    if grace is None:
+        return ParallelRunner(workers=workers, timeout=timeout, retries=retries)
+    return ParallelRunner(
+        workers=workers, timeout=timeout, retries=retries, grace=grace
+    )

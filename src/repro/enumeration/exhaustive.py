@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..obs import active as _active_collector
 from ..obs import clock
@@ -31,6 +32,9 @@ from ..core.errors import (
 from ..core.protocol import ProtocolSpec
 from ..core.symbols import DataValue
 from .product import ConcreteState, concrete_successors, initial_concrete
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.guard import Exhaustion, Guard
 
 __all__ = [
     "Equivalence",
@@ -78,11 +82,22 @@ class EnumerationResult:
     violations: tuple[Violation, ...]
     #: Example erroneous concrete states (at most one per violation).
     erroneous: tuple[ConcreteState, ...] = field(default_factory=tuple)
+    #: True when a guard budget expired before the frontier emptied:
+    #: ``states`` is the reachable prefix enumerated so far.
+    partial: bool = False
+    #: Why the search stopped early (``None`` for complete runs).
+    exhausted: "Exhaustion | None" = None
+    #: Frontier states not yet expanded when the budget expired.
+    frontier: tuple[ConcreteState, ...] = field(default_factory=tuple)
 
     @property
     def ok(self) -> bool:
-        """True iff no reachable concrete state is erroneous."""
-        return not self.violations
+        """True iff the search completed and found no erroneous state.
+
+        Partial runs are never ``ok`` (unreached states could still be
+        erroneous), but any violations they found are definitive.
+        """
+        return not self.violations and not self.partial
 
 
 def concrete_violations(spec: ProtocolSpec, state: ConcreteState) -> list[Violation]:
@@ -126,12 +141,17 @@ def enumerate_space(
     equivalence: Equivalence = Equivalence.STRICT,
     max_visits: int = 5_000_000,
     check_errors: bool = True,
+    guard: "Guard | None" = None,
 ) -> EnumerationResult:
     """Run the Figure 2 worklist search for *n* caches.
 
     Raises ``RuntimeError`` when *max_visits* is exceeded (the explicit
     search genuinely blows up for large ``n``; the budget keeps the
-    benchmark harness bounded).
+    benchmark harness bounded).  With a ``guard``, budgets degrade
+    gracefully instead: the search stops cleanly and returns a
+    **partial** result carrying the states enumerated so far, the
+    unexpanded frontier and the exhaustion reason (``max_visits`` is
+    then ignored -- the guard owns every budget).
     """
     stats = EnumerationStats()
     started = clock.monotonic()
@@ -169,8 +189,9 @@ def enumerate_space(
             erroneous.append(state)
 
     check(init)
+    exhausted: "Exhaustion | None" = None
     try:
-        while frontier:
+        while frontier and exhausted is None:
             stats.max_frontier = max(stats.max_frontier, len(frontier))
             current = frontier.popleft()
             stats.expanded += 1
@@ -178,7 +199,13 @@ def enumerate_space(
                 coll.observe("enumerate.frontier.depth", len(frontier) + 1)
             for transition in concrete_successors(spec, current):
                 stats.visits += 1
-                if stats.visits > max_visits:
+                if guard is not None:
+                    exhausted = guard.check(visits=stats.visits, states=len(seen))
+                    if exhausted is not None:
+                        # The interrupted state heads the frontier.
+                        frontier.appendleft(current)
+                        break
+                elif stats.visits > max_visits:
                     raise RuntimeError(
                         f"{spec.name}: exhaustive search for n={n} exceeded "
                         f"{max_visits} visits"
@@ -209,4 +236,7 @@ def enumerate_space(
         states=tuple(seen.values()),
         violations=tuple(violations),
         erroneous=tuple(erroneous),
+        partial=exhausted is not None,
+        exhausted=exhausted,
+        frontier=tuple(frontier) if exhausted is not None else (),
     )

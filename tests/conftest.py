@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.core.essential import ExpansionResult, explore
@@ -9,6 +12,43 @@ from repro.protocols.registry import all_protocols, get_protocol, protocol_names
 
 
 from tests.helpers import build_state  # noqa: F401  (re-exported fixture helper)
+
+#: Per-test wall-clock ceiling (seconds); 0 disables the watchdog.
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog(request):
+    """SIGALRM backstop so a hung worker can never wedge the suite.
+
+    The chaos tests deliberately spawn workers that hang; if teardown
+    logic regressed, a test could block forever.  When the
+    ``pytest-timeout`` plugin is installed (CI) it owns this job;
+    locally this fixture arms an interval timer instead.  Disable with
+    ``REPRO_TEST_TIMEOUT=0``.
+    """
+    if (
+        _TEST_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or request.config.pluginmanager.hasplugin("timeout")
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        pytest.fail(
+            f"test exceeded the {_TEST_TIMEOUT:g}s watchdog "
+            "(REPRO_TEST_TIMEOUT)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,369 @@
+"""Chaos tests: the engine's robustness claims under injected faults.
+
+Every disaster here is deterministic (see :mod:`repro.engine.faults`):
+worker crashes, hangs, soft-cancelled slow jobs, corrupt cache
+entries, torn journals and a mid-run SIGINT, each followed by an
+assertion that the engine isolated, retried, quarantined or resumed
+exactly as documented in docs/ROBUSTNESS.md.  The headline acceptance
+check is the kill-and-resume round trip: a batch interrupted after
+``k`` jobs, resumed from its journal, re-verifies only the unfinished
+jobs and ends with the same counts as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.engine import (
+    JobStatus,
+    ParallelRunner,
+    ResultCache,
+    RunJournal,
+    VerificationJob,
+    run_batch,
+    spec_fingerprint,
+)
+from repro.engine.faults import (
+    Fault,
+    FaultPlan,
+    FaultedSpec,
+    KillSwitchJournal,
+    corrupt_cache_entry,
+    inject,
+    tear_journal,
+)
+from repro.protocols.registry import get_protocol
+
+PROTOCOLS = ("msi", "illinois", "berkeley", "synapse", "moesi")
+
+
+def _jobs(*names: str, **options) -> list[VerificationJob]:
+    return [VerificationJob(protocol=name, **options) for name in names]
+
+
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random(50, seed=7)
+        b = FaultPlan.random(50, seed=7)
+        assert a.faults == b.faults
+        assert a.faults  # a 25% rate over 50 jobs plans *something*
+
+    def test_explicit_plan(self):
+        plan = FaultPlan({2: Fault("hang")})
+        assert plan.fault_for(2).kind == "hang"
+        assert plan.fault_for(0) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("meteor")
+
+    def test_faulted_spec_is_sound_in_parent(self):
+        # The parent fingerprints the faulted spec -- spec_to_dict
+        # exercises every reaction -- without detonating anything.
+        from repro.core.reactions import Ctx
+        from repro.core.symbols import CountCase
+
+        inner = get_protocol("msi")
+        faulted = FaultedSpec(inner, Fault("crash"))
+        assert spec_fingerprint(faulted) != spec_fingerprint(inner)
+        ctx = Ctx(frozenset(), CountCase.ZERO)
+        op = faulted.operations[0]
+        state = faulted.states[1]
+        assert faulted.react(state, op, ctx) == inner.react(state, op, ctx)
+
+    def test_inject_preserves_labels_and_soundness(self):
+        jobs = _jobs(*PROTOCOLS)
+        faulted = inject(jobs, FaultPlan({1: Fault("crash")}))
+        assert [j.label for j in faulted] == [j.label for j in jobs]
+        assert faulted[0] is jobs[0]
+        assert isinstance(faulted[1].spec, FaultedSpec)
+
+
+# ----------------------------------------------------------------------
+class TestWorkerFaults:
+    def test_crash_is_isolated_and_reported(self):
+        jobs = inject(_jobs("msi", "illinois", "moesi"), FaultPlan({1: Fault("crash")}))
+        journal = RunJournal()
+        report = run_batch(
+            jobs,
+            journal=journal,
+            runner=ParallelRunner(workers=2, retries=0),
+        )
+        statuses = [r.status for r in report.results]
+        assert statuses == [
+            JobStatus.VERIFIED,
+            JobStatus.CRASH,
+            JobStatus.VERIFIED,
+        ]
+        assert journal.count("job_crash") == 1
+        assert report.exit_code == 2
+
+    def test_crash_is_retried(self):
+        jobs = inject(_jobs("msi"), FaultPlan({0: Fault("crash")}))
+        journal = RunJournal()
+        report = run_batch(
+            jobs,
+            journal=journal,
+            runner=ParallelRunner(workers=1, retries=1),
+        )
+        assert report.results[0].status == JobStatus.CRASH
+        assert report.results[0].attempts == 2
+        assert journal.count("job_retry") == 1
+
+    def test_hung_worker_sigkilled_after_grace(self):
+        # The soft-cancel satellite: a job that ignores cancellation
+        # (hangs in react, never polls the guard) is SIGKILLed at
+        # deadline + grace and reported as a timeout.
+        jobs = inject(_jobs("illinois"), FaultPlan({0: Fault("hang")}))
+        journal = RunJournal()
+        report = run_batch(
+            jobs,
+            journal=journal,
+            runner=ParallelRunner(workers=1, timeout=0.3, grace=0.3, retries=0),
+        )
+        result = report.results[0]
+        assert result.status == JobStatus.TIMEOUT
+        assert "wall-clock" in result.error
+        cancels = journal.of("job_cancel")
+        timeouts = journal.of("job_timeout")
+        assert len(cancels) == 1 and len(timeouts) == 1
+        assert cancels[0]["grace"] == 0.3
+        # Soft-cancel strictly precedes the kill.
+        events = [e["event"] for e in journal.events]
+        assert events.index("job_cancel") < events.index("job_timeout")
+
+    def test_slow_job_soft_cancels_into_partial(self, tmp_path):
+        # A slow-but-cooperative job notices the cancel flag through
+        # its guard and hands back a partial result inside the grace
+        # window instead of being SIGKILLed.
+        jobs = inject(
+            _jobs("illinois"), FaultPlan({0: Fault("slow", delay=0.2)})
+        )
+        cache = ResultCache(tmp_path / "cache")
+        journal = RunJournal()
+        report = run_batch(
+            jobs,
+            cache=cache,
+            journal=journal,
+            runner=ParallelRunner(workers=1, timeout=0.4, grace=10.0, retries=0),
+        )
+        result = report.results[0]
+        assert result.status == JobStatus.PARTIAL
+        assert result.exhausted_reason == "cancelled"
+        assert result.attempts == 1  # terminal: no retry against the clock
+        assert journal.count("job_cancel") == 1
+        assert journal.count("job_partial") == 1
+        assert journal.count("job_timeout") == 0
+        # Cancelled partials are never cached: the runner timeout is
+        # not part of the job key.
+        assert cache.get(spec_fingerprint(jobs[0].spec), jobs[0]) is None
+
+    def test_interrupted_parallel_run_leaves_no_workers(self, tmp_path):
+        journal = KillSwitchJournal(tmp_path / "run.jsonl", after=1)
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(
+                _jobs(*PROTOCOLS),
+                journal=journal,
+                runner=ParallelRunner(workers=2, retries=0),
+            )
+        for proc in multiprocessing.active_children():
+            proc.join(2.0)
+        assert not multiprocessing.active_children()
+
+
+# ----------------------------------------------------------------------
+class TestKillAndResume:
+    def test_round_trip_matches_uninterrupted_run(self, tmp_path):
+        jobs = _jobs(*PROTOCOLS)
+        baseline = run_batch(jobs, cache=ResultCache(tmp_path / "ref"))
+
+        # Interrupt after two finished jobs.
+        cache = ResultCache(tmp_path / "cache")
+        path = tmp_path / "run.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(jobs, cache=cache, journal=KillSwitchJournal(path, after=2))
+
+        events = RunJournal.read(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "run_aborted"
+        assert events[-1]["finished"] == 2
+        assert kinds.count("job_finish") == 2
+        assert "run_end" not in kinds
+
+        # Resume: finished jobs replay from the cache, only the
+        # remainder is verified again.
+        with RunJournal(path, mode="append") as journal:
+            report = run_batch(
+                jobs, cache=cache, journal=journal, resume=RunJournal.read(path)
+            )
+        assert journal.count("run_resume") == 1
+        assert journal.of("run_resume")[0]["completed"] == 2
+        assert report.verified == baseline.verified == len(jobs)
+        assert report.exit_code == baseline.exit_code == 0
+        assert report.cache_hits >= 2  # the interrupted prefix replayed
+        fresh = [r for r in report.results if not r.cached]
+        assert len(fresh) == len(jobs) - report.cache_hits
+        # The combined journal now tells the whole story.
+        combined = RunJournal.read(path)
+        combined_kinds = [e["event"] for e in combined]
+        assert combined_kinds.count("run_start") == 2
+        assert combined_kinds.count("run_aborted") == 1
+        assert combined_kinds.count("run_end") == 1
+
+    def test_resume_replays_terminal_errors_without_redispatch(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        # A deterministic admission error: the mutation key is unknown,
+        # so the spec cannot even be resolved for fingerprinting.
+        jobs = [
+            VerificationJob(protocol="msi"),
+            VerificationJob(protocol="msi", mutant="no-such-mutation"),
+        ]
+        with RunJournal(path) as journal:
+            first = run_batch(jobs, journal=journal)
+        assert first.errors == 1
+        with RunJournal(path, mode="append") as journal:
+            report = run_batch(
+                jobs, journal=journal, resume=RunJournal.read(path)
+            )
+        assert journal.count("job_replayed") == 1
+        replayed = journal.of("job_replayed")[0]
+        assert replayed["status"] == JobStatus.ERROR
+        assert report.errors == first.errors == 1
+        # The error was adopted from the journal, not re-resolved.
+        error = next(r for r in report.results if r.status == JobStatus.ERROR)
+        assert "no-such-mutation" in error.error
+
+    def test_cli_exits_130_on_interrupt(self, monkeypatch, capsys):
+        import repro.engine
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.engine, "run_batch", boom)
+        status = main(["batch", "--protocols", "msi", "--no-cache"])
+        assert status == EXIT_INTERRUPTED == 130
+        assert "--resume" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+class TestTornJournal:
+    def test_read_skips_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            for i in range(5):
+                journal.emit("job_finish", job=f"j{i}", status="verified")
+        tear_journal(path, drop_bytes=9)
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            events = RunJournal.read(path)
+        assert [e["job"] for e in events] == ["j0", "j1", "j2", "j3"]
+
+    def test_read_skips_corrupt_middle_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        good = json.dumps({"event": "run_start", "t": 0})
+        path.write_text(f"{good}\nnot json at all\n{good}\n", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="corrupt line 2"):
+            events = RunJournal.read(path)
+        assert len(events) == 2
+
+    def test_journal_refuses_to_clobber(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.emit("run_start", jobs=1)
+        with pytest.raises(FileExistsError, match="--resume"):
+            RunJournal(path)
+        # Explicit modes still work.
+        with RunJournal(path, mode="append") as journal:
+            journal.emit("run_end", jobs=1)
+        assert len(RunJournal.read(path)) == 2
+        with RunJournal(path, mode="overwrite") as journal:
+            journal.emit("run_start", jobs=2)
+        assert len(RunJournal.read(path)) == 1
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunJournal(tmp_path / "x.jsonl", mode="sideways")
+
+
+# ----------------------------------------------------------------------
+class TestCacheQuarantine:
+    def _verified_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = VerificationJob(protocol="msi")
+        fingerprint = spec_fingerprint(job.resolve_spec())
+        result = run_batch([job], cache=cache).results[0]
+        assert result.status == JobStatus.VERIFIED
+        return cache, job, fingerprint
+
+    def test_missing_entry_is_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = VerificationJob(protocol="msi")
+        fingerprint = spec_fingerprint(job.resolve_spec())
+        assert cache.get(fingerprint, job) is None
+        assert cache.quarantined == 0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"status": "verified", "payload": [1,',  # torn JSON
+            '{"status": "verified", "payload": 3}',  # valid JSON, wrong shape
+            '{"status": "sideways", "payload": {}}',  # unknown status
+            '{"payload": {}}',  # missing status
+        ],
+    )
+    def test_corrupt_entry_is_quarantined(self, tmp_path, payload):
+        cache, job, fingerprint = self._verified_entry(tmp_path)
+        path = corrupt_cache_entry(cache, fingerprint, job, payload=payload)
+        assert cache.get(fingerprint, job) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantined").exists()
+
+    def test_sweep_recovers_after_quarantine(self, tmp_path):
+        cache, job, fingerprint = self._verified_entry(tmp_path)
+        corrupt_cache_entry(cache, fingerprint, job)
+        report = run_batch([job], cache=cache)
+        assert report.results[0].status == JobStatus.VERIFIED
+        assert not report.results[0].cached  # re-verified, not replayed
+        hit = cache.get(fingerprint, job)
+        assert hit is not None and hit.status == JobStatus.VERIFIED
+
+
+# ----------------------------------------------------------------------
+class TestPartialCaching:
+    def test_partial_results_replay_as_partial(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = VerificationJob(protocol="illinois", max_visits=5)
+        first = run_batch([job], cache=cache).results[0]
+        assert first.status == JobStatus.PARTIAL
+        again = run_batch([job], cache=cache).results[0]
+        assert again.cached
+        assert again.status == JobStatus.PARTIAL
+        assert again.exhausted_reason == "visits"
+
+    def test_partial_entry_never_poisons_other_budgets(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        small = VerificationJob(protocol="illinois", max_visits=5)
+        assert run_batch([small], cache=cache).results[0].partial
+        full = VerificationJob(protocol="illinois")
+        result = run_batch([full], cache=cache).results[0]
+        assert result.status == JobStatus.VERIFIED
+        assert not result.cached
+
+    def test_batch_report_counts_partials(self, tmp_path):
+        report = run_batch(
+            [
+                VerificationJob(protocol="msi"),
+                VerificationJob(protocol="illinois", max_visits=5),
+            ]
+        )
+        assert report.verified == 1
+        assert report.partials == 1
+        assert report.errors == 0
+        assert report.exit_code == 2
+        assert "1 partial" in report.counts_line()
+        assert report.journal.of("run_end")[0]["partials"] == 1

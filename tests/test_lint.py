@@ -638,9 +638,13 @@ class _SpyRunner:
     def __init__(self):
         self.dispatched = []
 
-    def run(self, jobs, on_event=None):
+    def run(self, jobs, on_event=None, on_result=None):
         self.dispatched.extend(jobs)
-        return [execute_job(job) for job in jobs]
+        results = [execute_job(job) for job in jobs]
+        if on_result is not None:
+            for index, result in enumerate(results):
+                on_result(index, result)
+        return results
 
 
 class TestBatchPreflight:
