@@ -17,6 +17,9 @@ Subcommands cover the full workflow a protocol designer would use:
 * ``repro crossval illinois`` -- the Theorem 1 completeness check;
 * ``repro simulate illinois -w hot-block`` -- run the executable
   multiprocessor on a synthetic workload;
+* ``repro fuzz --seed 42`` -- differential fuzzing: generated
+  protocols through both engines, disagreements shrunk and persisted
+  to the regression corpus (``--replay`` re-verifies the corpus);
 * ``repro compare illinois firefly`` -- diagram similarity analysis.
 
 Every subcommand uses the same exit-status convention (documented in
@@ -238,6 +241,60 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if journal_path:
         print(f"journal written to {journal_path}")
     return report.exit_code
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .engine import ResultCache, RunJournal
+    from .testkit import CampaignConfig, Corpus, OracleBudget, run_campaign
+
+    if args.replay:
+        corpus = Corpus(args.corpus)
+        entries = corpus.entries()
+        if not entries:
+            raise ValueError(f"no corpus entries under {args.corpus}")
+        replay = corpus.replay()
+        print(replay.describe())
+        return EXIT_OK if replay.ok else EXIT_VIOLATION
+
+    if args.count < 1:
+        raise ValueError("--count must be at least 1")
+    if not 1 <= args.max_n <= 5:
+        raise ValueError("--max-n must be between 1 and 5")
+    if args.soundness_max_n < args.max_n:
+        raise ValueError("--soundness-max-n must be at least --max-n")
+    budget = OracleBudget(
+        ns=tuple(range(1, args.max_n + 1)),
+        soundness_ns=tuple(range(1, args.soundness_max_n + 1)),
+        symbolic_visits=args.max_visits,
+        concrete_visits=args.concrete_visits,
+        deadline=args.deadline,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    with RunJournal(args.journal) as journal:
+        report = run_campaign(
+            CampaignConfig(
+                seed=args.seed,
+                count=args.count,
+                budget=budget,
+                workers=args.jobs,
+                corpus_dir=None if args.no_persist else args.corpus,
+                journal=journal,
+                cache=cache,
+            )
+        )
+    print(report.describe())
+    if args.findings:
+        Path(args.findings).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"findings written to {args.findings}")
+    if args.journal:
+        print(f"journal written to {args.journal}")
+    return EXIT_OK if report.ok else EXIT_VIOLATION
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -809,6 +866,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the edit sweep (1 = serial)",
     )
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the symbolic vs concrete engines",
+        description="Draw seeded well-formed protocol specifications, "
+        "verify each with the symbolic expansion (dispatched through the "
+        "batch engine) and the exhaustive small-n enumeration, and flag "
+        "any verdict or Theorem 1 coverage disagreement.  Disagreements "
+        "are auto-shrunk to a minimal specification and persisted to the "
+        "regression corpus; --replay re-verifies the stored corpus.",
+        epilog=_EXIT_STATUS_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--count", type=int, default=20, help="specifications to draw"
+    )
+    p.add_argument(
+        "--max-n",
+        type=int,
+        default=3,
+        help="largest cache count enumerated for completeness/coverage",
+    )
+    p.add_argument(
+        "--soundness-max-n",
+        type=int,
+        default=5,
+        help="largest cache count searched for a rejection witness",
+    )
+    p.add_argument(
+        "--max-visits",
+        type=int,
+        default=60_000,
+        help="visit budget for each symbolic expansion",
+    )
+    p.add_argument(
+        "--concrete-visits",
+        type=int,
+        default=400_000,
+        help="visit budget for each concrete enumeration",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per search; exhausted comparisons are "
+        "reported as skipped, never as findings",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the symbolic batch (1 = serial)",
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default="tests/corpus",
+        help="regression corpus directory (default: tests/corpus)",
+    )
+    p.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="do not write findings into the corpus",
+    )
+    p.add_argument(
+        "--findings",
+        metavar="FILE",
+        help="write the deterministic findings document (JSON) here",
+    )
+    p.add_argument(
+        "--journal", metavar="FILE", help="write the run journal here"
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="reuse cached symbolic verdicts from this result cache "
+        "(default: no cache, so repeated runs journal identically)",
+    )
+    p.add_argument(
+        "--replay",
+        action="store_true",
+        help="re-verify every corpus entry instead of fuzzing",
+    )
+
     p = sub.add_parser("sweep", help="traffic sweep across machine sizes")
     p.add_argument("protocol", help="protocol name or 'all'")
     p.add_argument("-w", "--workload", choices=sorted(WORKLOADS), default="hot-block")
@@ -834,6 +976,7 @@ _HANDLERS = {
     "fsm": _cmd_fsm,
     "fragility": _cmd_fragility,
     "sweep": _cmd_sweep,
+    "fuzz": _cmd_fuzz,
 }
 
 

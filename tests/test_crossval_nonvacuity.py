@@ -1,0 +1,65 @@
+"""Direct unit coverage of cross-validation's non-vacuity direction.
+
+Theorem 1's completeness direction (everything reachable is covered)
+is exercised all over the suite; these tests pin the *other* leg of
+:func:`repro.enumeration.crossval.cross_validate`: every essential
+composite state must be witnessed by at least one reachable concrete
+instance in the tested range, and an unwitnessed (vacuous) state must
+actually be flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.enumeration.crossval import cross_validate
+
+from tests.helpers import build_state
+
+
+@pytest.mark.parametrize("name", ["illinois", "msi", "firefly"])
+def test_zoo_protocols_are_tight(name, explored_augmented, every_protocol):
+    spec = next(s for s in every_protocol if s.name == name)
+    result = cross_validate(
+        spec, ns=(1, 2, 3), symbolic=explored_augmented[name]
+    )
+    assert result.tight, [str(s) for s in result.vacuous]
+    assert result.complete
+    assert result.ok
+
+
+def test_every_essential_state_is_witnessed(illinois, explored_augmented):
+    symbolic = explored_augmented["illinois"]
+    result = cross_validate(illinois, ns=(1, 2, 3), symbolic=symbolic)
+    # tight means the vacuous list is empty, i.e. the witnessed set
+    # covered all of symbolic.essential.
+    assert result.vacuous == []
+    assert sum(result.checked.values()) >= len(symbolic.essential)
+
+
+def test_fabricated_unreachable_state_is_flagged_vacuous(
+    illinois, explored_structural
+):
+    # Illinois never holds a Dirty copy alongside Shared copies; an
+    # essential set padded with that state is no longer tight, and
+    # cross_validate must name exactly the fabricated state.
+    symbolic = explored_structural["illinois"]
+    fake = build_state("Dirty", "Shared+")
+    padded = replace(symbolic, essential=symbolic.essential + (fake,))
+    result = cross_validate(
+        illinois, ns=(1, 2, 3), augmented=False, symbolic=padded
+    )
+    assert not result.tight
+    assert result.vacuous == [fake]
+    # Vacuity is one-sided: coverage of reachable states still holds.
+    assert result.complete
+    assert not result.ok
+
+
+def test_reused_symbolic_result_is_reported(illinois, explored_augmented):
+    symbolic = explored_augmented["illinois"]
+    result = cross_validate(illinois, ns=(1,), symbolic=symbolic)
+    assert result.symbolic is symbolic
+    assert "cross-validation" in result.summary()

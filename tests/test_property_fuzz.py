@@ -21,42 +21,17 @@ edits, which is exactly what shakes out abstraction bugs.
 
 from __future__ import annotations
 
-from hypothesis import HealthCheck, assume, given, settings
-from hypothesis import strategies as st
+from hypothesis import assume, given
 
 from repro.core.essential import ExpansionLimitError, explore
 from repro.core.protocol import ProtocolDefinitionError
 from repro.enumeration.exhaustive import enumerate_space
-from repro.protocols.perturb import (
-    PERTURBATION_KINDS,
-    Perturbation,
-    PerturbedProtocol,
-)
-from repro.core.symbols import Op
-from repro.protocols.registry import get_protocol
 
-BASE_PROTOCOLS = ("illinois", "msi", "write-once", "firefly", "berkeley")
-OPS = (Op.READ, Op.WRITE, Op.REPLACE)
+from tests.helpers import perturbed_protocols
 
 
-@st.composite
-def perturbed_protocols(draw):
-    base = get_protocol(draw(st.sampled_from(BASE_PROTOCOLS)))
-    perturbation = Perturbation(
-        kind=draw(st.sampled_from(PERTURBATION_KINDS)),
-        trigger_state=draw(st.sampled_from(base.states)),
-        trigger_op=draw(st.sampled_from(OPS)),
-        trigger_any=draw(st.booleans()),
-        pick=draw(st.integers(min_value=0, max_value=7)),
-    )
-    return PerturbedProtocol(base, perturbation)
-
-
-@settings(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+# Example budget, determinism and health-check policy come from the
+# hypothesis profiles registered in conftest.py (HYPOTHESIS_PROFILE).
 @given(perturbed_protocols())
 def test_symbolic_and_concrete_verdicts_agree(spec):
     # Reject structurally ill-formed perturbations (e.g. a fill with no
