@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Verify the protocol zoo through the campaign service -- over HTTP.
+
+The previous examples drive the batch engine directly; this one drives
+it the way a remote client would, through ``repro.serve``: start a
+campaign service on a background thread, ``POST /campaigns`` the whole
+zoo, tail the live SSE event stream, and fetch the structured report.
+Submitting the identical campaign a second time shows the service's
+shared artifact store at work -- every job is answered from the result
+cache, zero re-verifications.
+
+Run:  python examples/serve_zoo.py
+      REPRO_SERVE_PROTOCOLS=msi,illinois python examples/serve_zoo.py
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.engine import ResultCache
+from repro.serve import ServeApp, ServerThread, client
+
+
+def main() -> None:
+    protocols = [
+        name.strip()
+        for name in os.environ.get("REPRO_SERVE_PROTOCOLS", "all").split(",")
+        if name.strip()
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+        root = Path(scratch)
+        app = ServeApp(root / "state", cache=ResultCache(root / "cache"))
+        with ServerThread(app) as server:
+            print(f"campaign service listening on {server.base_url}")
+            accepted = client.submit(server.base_url, {"protocols": protocols})
+            print(f"submitted campaign {accepted['id']}; streaming events:")
+
+            def show(event: client.SseEvent) -> None:
+                record = event.json()
+                if record["event"] == "job_finish":
+                    cached = " (cache)" if record.get("cached") else ""
+                    print(f"  {record['job']:<24} {record['status']}{cached}")
+
+            final = client.watch(server.base_url, accepted["id"], on_event=show)
+            counts = final["report"]["counts"]
+            print(
+                f"campaign {accepted['id']}: {counts['jobs']} jobs, "
+                f"{counts['verified']} verified, "
+                f"{counts['violations']} violations "
+                f"(exit {final['exit_code']})"
+            )
+
+            # Resubmit the identical campaign: the shared result cache
+            # answers every job without a single re-verification.
+            again = client.submit(server.base_url, {"protocols": protocols})
+            warm = client.watch(server.base_url, again["id"])
+            hits = warm["report"]["counts"]["cache_hits"]
+            print(
+                f"campaign {again['id']} (identical resubmission): "
+                f"{hits}/{counts['jobs']} jobs answered from cache"
+            )
+
+
+if __name__ == "__main__":
+    main()

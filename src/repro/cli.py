@@ -20,6 +20,12 @@ Subcommands cover the full workflow a protocol designer would use:
 * ``repro fuzz --seed 42`` -- differential fuzzing: generated
   protocols through both engines, disagreements shrunk and persisted
   to the regression corpus (``--replay`` re-verifies the corpus);
+* ``repro serve --port 8642`` -- the campaign service: a long-running
+  asyncio HTTP front end on the batch engine with priority lanes,
+  per-tenant budgets, SSE event streams and the shared result cache;
+* ``repro submit URL --protocols all`` / ``repro watch URL ID`` -- the
+  matching clients: submit a campaign, stream its journal live, exit
+  with the campaign's own 0/1/2 status;
 * ``repro compare illinois firefly`` -- diagram similarity analysis.
 
 Every subcommand uses the same exit-status convention (documented in
@@ -295,6 +301,120 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.journal:
         print(f"journal written to {args.journal}")
     return EXIT_OK if report.ok else EXIT_VIOLATION
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine import ResultCache
+    from .serve import ServeApp
+
+    tenants: dict[str, float] = {}
+    for item in args.tenant:
+        name, sep, seconds = item.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--tenant wants NAME=SECONDS, got {item!r}")
+        tenants[name] = float(seconds)  # ValueError on garbage -> exit 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    app = ServeApp(
+        args.state_dir,
+        cache=cache,
+        workers=args.workers,
+        job_workers=args.job_workers,
+        tenants=tenants or None,
+        preflight=args.preflight,
+    )
+    asyncio.run(app.serve_forever(args.host, args.port))
+    return EXIT_OK
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """The POST /campaigns body for one ``repro submit`` invocation."""
+    from pathlib import Path
+
+    payload: dict = {"protocols": args.protocols, "mutants": args.mutants}
+    specs = {}
+    for path in args.spec_file:
+        specs[Path(path).stem] = Path(path).read_text(encoding="utf-8")
+    if specs:
+        payload["specs"] = specs
+    if args.tenant != "default":
+        payload["tenant"] = args.tenant
+    if args.priority != "normal":
+        payload["priority"] = args.priority
+    if args.structural:
+        payload["structural"] = True
+    if args.preflight:
+        payload["preflight"] = args.preflight
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    return payload
+
+
+def _render_event(record: dict) -> str:
+    """One human-readable line per streamed journal event."""
+    kind = record.get("event", "?")
+    bits = [kind]
+    if "job" in record:
+        bits.append(str(record["job"]))
+    if kind == "job_finish":
+        bits.append(str(record.get("status")))
+        if record.get("cached"):
+            bits.append("(cache)")
+    elif kind == "run_start":
+        bits.append(f"{record.get('jobs')} jobs")
+    elif kind == "run_end":
+        bits.append(
+            f"{record.get('verified')} verified, "
+            f"{record.get('violations')} violations, "
+            f"{record.get('errors')} errors"
+        )
+    elif kind == "run_resume":
+        bits.append(f"{record.get('completed')} replayed")
+    return "  ".join(bits)
+
+
+def _watch_campaign(
+    url: str, campaign: str, *, offset: int = 0, quiet: bool = False
+) -> int:
+    """Stream one campaign to the end; return its 0/1/2 exit status."""
+    from .serve import client
+
+    def show(event: client.SseEvent) -> None:
+        if quiet:
+            return
+        print(_render_event(event.json()))
+
+    final = client.watch(url, campaign, offset=offset, on_event=show)
+    counts = (final.get("report") or {}).get("counts")
+    if counts:
+        print(
+            f"{campaign}: {counts['jobs']} jobs, "
+            f"{counts['verified']} verified, "
+            f"{counts['violations']} violations, "
+            f"{counts['errors']} errors, {counts['partials']} partial; "
+            f"{counts['cache_hits']} cache hits"
+        )
+    if final.get("error"):
+        print(f"{campaign}: {final['state']}: {final['error']}", file=sys.stderr)
+    code = final.get("exit_code")
+    return EXIT_ERROR if code is None else int(code)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import client
+
+    accepted = client.submit(args.url, _submit_payload(args))
+    print(f"campaign {accepted['id']} accepted ({args.url}{accepted['location']})")
+    if not args.watch:
+        return EXIT_OK
+    return _watch_campaign(args.url, accepted["id"], quiet=args.quiet)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return _watch_campaign(
+        args.url, args.campaign, offset=args.offset, quiet=args.quiet
+    )
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -951,6 +1071,154 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify every corpus entry instead of fuzzing",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the verification-as-a-service campaign server",
+        description="Start the long-running campaign service (repro.serve): "
+        "an asyncio HTTP front end on the batch engine.  POST /campaigns "
+        "submits spec names or inline DSL sources (plus mutant matrices) "
+        "and returns a campaign id; a scheduler shards campaigns across "
+        "a worker pool with priority lanes (high/normal/low) and "
+        "per-tenant wall-clock budgets enforced through the engine's "
+        "cooperative Guard (exhausted tenants degrade to PARTIAL results, "
+        "never starve); GET /campaigns/{id} returns the structured batch "
+        "report, /campaigns/{id}/events streams journal events live over "
+        "SSE (replayable from a byte offset), /cache/{fingerprint} serves "
+        "the shared result cache and /metrics the Prometheus exposition.  "
+        "Every campaign is journaled, so a killed server resumes its "
+        "unfinished campaigns from the journal on restart.  Full API "
+        "contract: docs/SERVICE.md.",
+        epilog=_EXIT_STATUS_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8642, help="bind port")
+    p.add_argument(
+        "--state-dir",
+        default="repro-serve",
+        metavar="DIR",
+        help="campaign state root: journals, reports, inline specs "
+        "(default: ./repro-serve)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent campaigns (scheduler worker pool, default: 2)",
+    )
+    p.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="worker processes per campaign batch (default: 1, serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="shared result cache directory (default: ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=SECONDS",
+        help="wall-clock allotment for one tenant (repeatable); tenants "
+        "without one are unlimited",
+    )
+    p.add_argument(
+        "--preflight",
+        nargs="?",
+        const="reject",
+        choices=("reject", "annotate"),
+        help="force a lint preflight mode on every campaign",
+    )
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running campaign server",
+        description="POST a campaign to `repro serve` and print its id.  "
+        "--watch then streams the journal live and exits with the "
+        "campaign's own status, keeping the uniform 0/1/2 contract.",
+        epilog=_EXIT_STATUS_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8642")
+    p.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["all"],
+        metavar="NAME",
+        help="protocol names or 'all' (default: all)",
+    )
+    p.add_argument(
+        "--mutants",
+        action="store_true",
+        help="also verify every applicable injected-bug mutant",
+    )
+    p.add_argument(
+        "--spec-file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="submit a local DSL spec inline (repeatable; the server "
+        "needs no shared filesystem)",
+    )
+    p.add_argument("--tenant", default="default", help="tenant to bill")
+    p.add_argument(
+        "--priority",
+        choices=("high", "normal", "low"),
+        default="normal",
+        help="scheduler lane (default: normal)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-job cooperative deadline (budget-exhausted jobs "
+        "return PARTIAL)",
+    )
+    p.add_argument("--structural", action="store_true", help="skip context variables")
+    p.add_argument(
+        "--preflight",
+        nargs="?",
+        const="reject",
+        choices=("reject", "annotate"),
+        help="lint every spec before dispatch",
+    )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream events until done; exit with the campaign status",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-event lines"
+    )
+
+    p = sub.add_parser(
+        "watch",
+        help="stream a campaign's journal events from a campaign server",
+        description="Follow GET /campaigns/{id}/events over SSE until the "
+        "campaign finishes, printing one line per journal event, then "
+        "exit with the campaign's own 0/1/2 status.  Reconnects resume "
+        "from the last seen byte offset, so no event is lost or doubled.",
+        epilog=_EXIT_STATUS_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8642")
+    p.add_argument("campaign", help="campaign id from `repro submit`")
+    p.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        help="journal byte offset to replay from (default: 0, the start)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="only print the final summary"
+    )
+
     p = sub.add_parser("sweep", help="traffic sweep across machine sizes")
     p.add_argument("protocol", help="protocol name or 'all'")
     p.add_argument("-w", "--workload", choices=sorted(WORKLOADS), default="hot-block")
@@ -977,6 +1245,9 @@ _HANDLERS = {
     "fragility": _cmd_fragility,
     "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "watch": _cmd_watch,
 }
 
 

@@ -40,7 +40,7 @@ from .cache import ResultCache, default_cache_dir
 from .fingerprint import ENGINE_VERSION, job_key, spec_fingerprint
 from .guard import Budget, Exhaustion, ExhaustionReason, Guard, current_rss_mb
 from .job import JobResult, JobStatus, VerificationJob, execute_job
-from .journal import RunJournal
+from .journal import JournalFollower, RunJournal
 from .runner import ParallelRunner, SerialRunner, make_runner
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "Guard",
     "JobResult",
     "JobStatus",
+    "JournalFollower",
     "ParallelRunner",
     "ResultCache",
     "RunJournal",

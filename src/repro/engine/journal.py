@@ -62,7 +62,86 @@ from typing import Any, IO
 
 from ..obs import clock
 
-__all__ = ["RunJournal"]
+__all__ = ["JournalFollower", "RunJournal"]
+
+
+class JournalFollower:
+    """Incremental tail reader over a JSONL journal file.
+
+    Unlike :meth:`RunJournal.read`, which loads the whole file, a
+    follower remembers a **byte offset** and each :meth:`poll` returns
+    only the events appended since the last one.  The offset always
+    points at the start of a line: a torn trailing line (no newline
+    yet -- the writer is mid-``write`` or the run was killed) is *not*
+    consumed; it is re-read on the next poll, by which time the writer
+    has either completed it or never will.  ``offset`` is therefore a
+    stable resume token -- two followers started from the same offset
+    over the same file see byte-identical streams, which is what makes
+    SSE reconnects (``repro serve``) and ``--resume`` deterministic.
+
+    Corrupt *complete* lines (decodable as neither JSON nor an object)
+    are skipped with a :class:`RuntimeWarning`, but their bytes are
+    still consumed so the stream keeps advancing past damage.
+    """
+
+    def __init__(self, path: str | Path, *, offset: int = 0) -> None:
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self.path = Path(path)
+        #: Byte offset of the first unconsumed line.
+        self.offset = int(offset)
+        self._lineno = 0  # complete lines consumed since ``offset`` 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        """True iff unconsumed bytes remain (a torn/in-flight line)."""
+        try:
+            return self.path.stat().st_size > self.offset
+        except OSError:
+            return False
+
+    def poll_lines(self) -> list[tuple[bytes, int]]:
+        """New complete journal lines as ``(raw_line, offset_after)``.
+
+        ``raw_line`` excludes the newline; ``offset_after`` is the byte
+        offset just past it (the resume token for replaying the stream
+        from the *next* line).  Lines that do not decode to a JSON
+        object are skipped with a warning but still advance the offset.
+        """
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(self.offset)
+                chunk = fh.read()
+        except OSError:
+            return []
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []
+        out: list[tuple[bytes, int]] = []
+        for raw in chunk[: end + 1].split(b"\n")[:-1]:
+            self.offset += len(raw) + 1
+            self._lineno += 1
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw)
+                if not isinstance(record, dict):
+                    raise ValueError("journal line is not an object")
+            except (ValueError, TypeError):
+                warnings.warn(
+                    f"journal {self.path}: skipping corrupt line "
+                    f"{self._lineno}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            out.append((raw, self.offset))
+        return out
+
+    def poll(self) -> list[dict[str, Any]]:
+        """New complete events appended since the last poll, in order."""
+        return [json.loads(raw) for raw, _ in self.poll_lines()]
 
 
 class RunJournal:
@@ -103,38 +182,37 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     @classmethod
+    def follow(cls, path: str | Path, *, offset: int = 0) -> JournalFollower:
+        """An incremental tail reader over a journal file.
+
+        Used by the SSE event streamer of ``repro serve`` (replayable
+        from a byte offset, so reconnects are deterministic) and by
+        :meth:`read` / ``repro batch --resume`` (one drain of the whole
+        file).  See :class:`JournalFollower`.
+        """
+        return JournalFollower(path, offset=offset)
+
+    @classmethod
     def read(cls, path: str | Path) -> list[dict[str, Any]]:
         """Recover the event stream of a (possibly torn) journal file.
 
-        A run killed mid-write leaves at most one torn trailing line;
-        it is skipped with a :class:`RuntimeWarning`.  A corrupt line
-        *followed by* valid events means the file was damaged some
-        other way -- also skipped, also warned about -- so recovery
-        always yields every decodable event in order.
+        One full drain of a :class:`JournalFollower`: a run killed
+        mid-write leaves at most one torn trailing line (no newline),
+        which stays unconsumed and is reported with a
+        :class:`RuntimeWarning`; corrupt complete lines are skipped
+        (also warned about), so recovery always yields every decodable
+        event in order.
         """
-        events: list[dict[str, Any]] = []
-        text = Path(path).read_text(encoding="utf-8")
-        lines = text.splitlines()
-        for lineno, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                if not isinstance(record, dict):
-                    raise ValueError("journal line is not an object")
-            except (ValueError, TypeError):
-                kind = (
-                    "torn trailing line"
-                    if lineno == len(lines)
-                    else f"corrupt line {lineno}"
-                )
-                warnings.warn(
-                    f"journal {path}: skipping {kind}",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                continue
-            events.append(record)
+        path = Path(path)
+        path.stat()  # surface missing files as OSError, like read_text did
+        follower = cls.follow(path)
+        events = follower.poll()
+        if follower.pending:
+            warnings.warn(
+                f"journal {path}: skipping torn trailing line",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return events
 
     # ------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""repro.serve -- the campaign service: verification as a service.
+
+PRs 1-5 made the verifier batchable, resumable, observable and
+self-fuzzing; this subsystem puts a long-running service in front of
+it, entirely on the standard library (``asyncio`` streams, no HTTP
+framework).  Submit a *campaign* -- spec files or registry names plus
+mutant matrices -- and get back a campaign id; a scheduler shards
+campaigns across a worker pool with priority lanes and per-tenant
+budgets (enforced through the engine's cooperative
+:class:`~repro.engine.guard.Guard`, so exhausted tenants degrade to
+structured PARTIAL results instead of starving); journal events stream
+live over SSE, replayable from a byte offset; the content-addressed
+result cache doubles as a shared artifact store, so popular protocols
+are verified once and answered from cache forever.
+
+Quickstart::
+
+    from repro.engine import ResultCache
+    from repro.serve import ServeApp, ServerThread, client
+
+    app = ServeApp("state/", cache=ResultCache("cache/"), workers=2)
+    with ServerThread(app) as server:
+        accepted = client.submit(
+            server.base_url, {"protocols": ["illinois", "msi"]}
+        )
+        final = client.watch(server.base_url, accepted["id"])
+        print(final["exit_code"], final["report"]["counts"])
+
+The CLI front ends are ``repro serve`` (the server), ``repro submit``
+and ``repro watch`` (clients); the HTTP API contract -- endpoints,
+status codes, the SSE event schema -- is documented in
+``docs/SERVICE.md``.
+"""
+
+from . import client
+from .app import ServeApp, ServerThread
+from .model import (
+    PRIORITIES,
+    Campaign,
+    CampaignRequest,
+    CampaignState,
+    campaign_id,
+    report_to_dict,
+)
+from .scheduler import Scheduler, TenantBudgets, TenantCap
+from .store import CampaignStore
+
+__all__ = [
+    "PRIORITIES",
+    "Campaign",
+    "CampaignRequest",
+    "CampaignState",
+    "CampaignStore",
+    "Scheduler",
+    "ServeApp",
+    "ServerThread",
+    "TenantBudgets",
+    "TenantCap",
+    "campaign_id",
+    "client",
+    "report_to_dict",
+]

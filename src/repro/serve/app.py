@@ -1,0 +1,446 @@
+"""The campaign service: HTTP routes wired to scheduler, store, engine.
+
+:class:`ServeApp` is the whole service: an ``asyncio.start_server``
+front end (:mod:`repro.serve.http`), the priority-lane scheduler
+(:mod:`repro.serve.scheduler`), the restart-safe campaign store
+(:mod:`repro.serve.store`) and the unchanged batch engine underneath.
+
+Routes::
+
+    POST /campaigns                submit; 202 + campaign id
+    GET  /campaigns                list campaign summaries
+    GET  /campaigns/{id}           the structured BatchReport
+    GET  /campaigns/{id}/events    live SSE journal stream (?offset=N)
+    GET  /cache/{fingerprint}      result-cache entries for one spec
+    GET  /metrics                  Prometheus text exposition
+    GET  /healthz                  liveness probe
+
+Campaigns are journaled through the engine's own
+:class:`~repro.engine.journal.RunJournal`, so ``--resume`` semantics
+survive server restarts: on startup, persisted campaigns without a
+final report are requeued and their reruns replay every finished job
+from the journal and the result cache (see
+:meth:`ServeApp.recover`).  The full API contract lives in
+``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..engine import ENGINE_VERSION, ResultCache, RunJournal, run_batch
+from ..obs import Collector, clock, to_prometheus
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    json_response,
+    read_request,
+    sse_event,
+    sse_preamble,
+    text_response,
+)
+from .model import Campaign, CampaignRequest, CampaignState, report_to_dict
+from .scheduler import Scheduler, TenantBudgets, TenantCap
+from .store import CampaignStore
+
+__all__ = ["ServeApp", "ServerThread"]
+
+_CAMPAIGN_RE = re.compile(r"^/campaigns/([A-Za-z0-9_.-]+)$")
+_EVENTS_RE = re.compile(r"^/campaigns/([A-Za-z0-9_.-]+)/events$")
+_CACHE_RE = re.compile(r"^/cache/([0-9a-f]{8,64})$")
+
+#: SSE tail-follow poll interval (seconds) while a campaign is live.
+_POLL = 0.05
+
+
+class ServeApp:
+    """One campaign service instance (state dir + cache + scheduler)."""
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        *,
+        cache: ResultCache | None = None,
+        workers: int = 2,
+        job_workers: int = 1,
+        tenants: dict[str, float] | None = None,
+        preflight: str | None = None,
+        collector: Collector | None = None,
+    ) -> None:
+        self.store = CampaignStore(state_dir)
+        self.cache = cache
+        self.job_workers = job_workers
+        self.preflight = preflight
+        self.collector = collector if collector is not None else Collector("serve")
+        self.scheduler = Scheduler(
+            self._execute, workers=workers, budgets=TenantBudgets(tenants)
+        )
+        self.campaigns: dict[str, Campaign] = {}
+        # Touch the serve instruments so /metrics always exposes them,
+        # even before the first request or submission lands.
+        self.collector.count("serve.requests", 0)
+        self.collector.count("serve.campaigns", 0)
+        self.collector.count("serve.cache.served", 0)
+        self.collector.gauge("serve.queue.depth", 0)
+        self.collector.gauge("serve.sse.clients", 0)
+        self._sse_clients = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        """Recover persisted campaigns, start workers, bind the socket."""
+        await self.scheduler.start()
+        await self.recover()
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    async def stop(self, server) -> None:
+        """Close the socket and stop the worker pool."""
+        server.close()
+        await server.wait_closed()
+        await self.scheduler.stop()
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8642) -> None:
+        """Blocking entry point used by ``repro serve``."""
+        server = await self.start(host, port)
+        bound = server.sockets[0].getsockname()
+        print(f"repro serve: listening on http://{bound[0]}:{bound[1]}")
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.scheduler.stop()
+
+    async def recover(self) -> None:
+        """Reload persisted campaigns; requeue the unfinished ones.
+
+        An unfinished campaign with a journal resumes: the rerun reads
+        the journal's event stream (``RunJournal.follow`` drained once)
+        and hands it to ``run_batch(resume=...)``, which replays
+        finished jobs instead of re-verifying them.
+        """
+        for campaign in self.store.load_all():
+            self.campaigns[campaign.id] = campaign
+            if not campaign.done:
+                await self.scheduler.submit(campaign)
+        self._set_queue_gauge()
+
+    # ------------------------------------------------------------------
+    # Campaign execution (worker thread)
+    # ------------------------------------------------------------------
+    def _execute(self, campaign: Campaign, cap: TenantCap | None) -> None:
+        """Run one campaign through the batch engine (in a thread)."""
+        try:
+            jobs = campaign.request.jobs(
+                self.store.spec_dir(campaign),
+                deadline_cap=cap.deadline if cap else None,
+                max_visits_cap=cap.max_visits if cap else None,
+            )
+            journal_path = self.store.journal_path(campaign)
+            resume_events = None
+            mode = "new"
+            if campaign.resumed and journal_path.exists():
+                resume_events = RunJournal.follow(journal_path).poll()
+                mode = "append"
+            with RunJournal(journal_path, mode=mode) as journal:
+                report = run_batch(
+                    jobs,
+                    workers=self.job_workers,
+                    cache=self.cache,
+                    journal=journal,
+                    preflight=self.preflight or campaign.request.preflight,
+                    resume=resume_events,
+                )
+        except Exception as exc:
+            # Make the failure terminal across restarts too: a broken
+            # campaign must not be requeued (and re-broken) forever.
+            campaign.state = CampaignState.FAILED
+            campaign.error = f"{type(exc).__name__}: {exc}"
+            campaign.exit_code = 2
+            campaign.finished = clock.wall()
+            self.store.save_report(campaign)
+            raise
+        campaign.report = report_to_dict(report)
+        campaign.exit_code = report.exit_code
+        campaign.state = CampaignState.DONE
+        campaign.finished = clock.wall()
+        self.store.save_report(campaign)
+        self._set_queue_gauge()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _set_queue_gauge(self) -> None:
+        self.collector.gauge("serve.queue.depth", self.scheduler.queue_depth())
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        began = clock.monotonic()
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                request = None
+                writer.write(
+                    json_response(
+                        {"error": exc.message}, status=exc.status
+                    ).encode()
+                )
+                await writer.drain()
+            if request is not None:
+                self.collector.count("serve.requests")
+                response = await self._dispatch(request, writer)
+                if response is not None:
+                    writer.write(response.encode())
+                    await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - the server must survive
+            try:
+                writer.write(
+                    json_response(
+                        {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                    ).encode()
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self.collector.observe(
+                "serve.request.latency", clock.monotonic() - began
+            )
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> Response | None:
+        """Route one request; ``None`` means the handler streamed."""
+        try:
+            if request.path == "/campaigns":
+                if request.method == "POST":
+                    return await self._post_campaign(request)
+                if request.method == "GET":
+                    return self._list_campaigns()
+                raise HttpError(405, f"{request.method} not allowed here")
+            match = _EVENTS_RE.match(request.path)
+            if match:
+                self._require_get(request)
+                await self._stream_events(
+                    self._campaign(match.group(1)),
+                    request.query_int("offset", 0),
+                    writer,
+                )
+                return None
+            match = _CAMPAIGN_RE.match(request.path)
+            if match:
+                self._require_get(request)
+                return json_response(self._campaign(match.group(1)).to_dict())
+            match = _CACHE_RE.match(request.path)
+            if match:
+                self._require_get(request)
+                return self._cache_entries(match.group(1))
+            if request.path == "/metrics":
+                self._require_get(request)
+                return text_response(to_prometheus(self.collector))
+            if request.path == "/healthz":
+                self._require_get(request)
+                return json_response(
+                    {
+                        "ok": True,
+                        "campaigns": len(self.campaigns),
+                        "queue_depth": self.scheduler.queue_depth(),
+                        "tenants": self.scheduler.budgets.to_dict(),
+                    }
+                )
+            raise HttpError(404, f"no route for {request.path}")
+        except HttpError as exc:
+            return json_response({"error": exc.message}, status=exc.status)
+
+    @staticmethod
+    def _require_get(request: Request) -> None:
+        if request.method != "GET":
+            raise HttpError(405, f"{request.method} not allowed here")
+
+    def _campaign(self, cid: str) -> Campaign:
+        campaign = self.campaigns.get(cid)
+        if campaign is None:
+            raise HttpError(404, f"unknown campaign {cid}")
+        return campaign
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _post_campaign(self, request: Request) -> Response:
+        try:
+            campaign_request = CampaignRequest.from_dict(request.json())
+            # Resolve early so unknown protocols and broken inline
+            # specs 400 at submission instead of erroring in a worker.
+            campaign_request.validate()
+        except ValueError as exc:
+            raise HttpError(400, str(exc))
+        campaign = self.store.create(campaign_request)
+        self.campaigns[campaign.id] = campaign
+        await self.scheduler.submit(campaign)
+        self.collector.count("serve.campaigns")
+        self._set_queue_gauge()
+        return json_response(
+            {
+                "id": campaign.id,
+                "state": campaign.state,
+                "location": f"/campaigns/{campaign.id}",
+                "events": f"/campaigns/{campaign.id}/events",
+            },
+            status=202,
+        )
+
+    def _list_campaigns(self) -> Response:
+        return json_response(
+            {
+                "campaigns": [
+                    self.campaigns[cid].to_dict(with_report=False)
+                    for cid in sorted(self.campaigns)
+                ]
+            }
+        )
+
+    def _cache_entries(self, fingerprint: str) -> Response:
+        """Serve the result cache as a shared artifact store.
+
+        ``fingerprint`` is a spec fingerprint (or a prefix of one, 8+
+        hex chars): every cached verification of that specification --
+        any options, any budgets -- is returned, exactly as stored.
+        """
+        if self.cache is None:
+            raise HttpError(404, "this server runs without a result cache")
+        entries: list[dict[str, Any]] = []
+        version_dir = self.cache.root / f"v{ENGINE_VERSION}"
+        for path in sorted(version_dir.glob("*/*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if str(record.get("fingerprint", "")).startswith(fingerprint):
+                entries.append(record)
+        if not entries:
+            raise HttpError(404, f"no cache entries for {fingerprint}")
+        self.collector.count("serve.cache.served", len(entries))
+        return json_response(
+            {"fingerprint": fingerprint, "entries": entries}
+        )
+
+    async def _stream_events(
+        self, campaign: Campaign, offset: int, writer: asyncio.StreamWriter
+    ) -> None:
+        """SSE-stream the campaign journal, tail-following live runs.
+
+        Events are the journal's own JSONL lines, one per frame, each
+        ``id:`` the byte offset *after* that line -- so a reconnect
+        with ``?offset=<last id>`` resumes exactly where the stream
+        broke and replays byte-identically.  A terminal ``end`` frame
+        carries the exit code once the campaign is done and the tail
+        is drained.
+        """
+        if offset < 0:
+            raise HttpError(400, "offset must be >= 0")
+        writer.write(sse_preamble())
+        await writer.drain()
+        self._sse_clients += 1
+        self.collector.gauge("serve.sse.clients", self._sse_clients)
+        try:
+            follower = RunJournal.follow(
+                self.store.journal_path(campaign), offset=offset
+            )
+            while True:
+                drained = True
+                for raw, end_offset in follower.poll_lines():
+                    writer.write(sse_event(raw, id=end_offset))
+                    drained = False
+                if not drained:
+                    await writer.drain()
+                if campaign.done and not follower.pending and drained:
+                    break
+                await asyncio.sleep(_POLL)
+            closing = json.dumps(
+                {"state": campaign.state, "exit_code": campaign.exit_code},
+                sort_keys=True,
+            ).encode("utf-8")
+            writer.write(sse_event(closing, event="end"))
+            await writer.drain()
+        finally:
+            self._sse_clients -= 1
+            self.collector.gauge("serve.sse.clients", self._sse_clients)
+            self._set_queue_gauge()
+
+
+class ServerThread:
+    """Run a :class:`ServeApp` on a background thread (tests, examples).
+
+    Context manager: entering starts an event loop thread, binds the
+    server (port 0 picks a free port) and exposes ``base_url``; exiting
+    shuts the loop down and joins the thread.  In-flight campaigns
+    finish before the pool stops.
+    """
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.base_url: str = ""
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Future[None] | None = None
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if not self.base_url:
+            raise RuntimeError("server thread failed to bind")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: self._stop.set_result(None)
+                if not self._stop.done()
+                else None
+            )
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 - surfaced on __enter__
+            self._error = exc
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = self._loop.create_future()
+        server = await self.app.start(self.host, self.port)
+        bound = server.sockets[0].getsockname()
+        self.port = bound[1]
+        self.base_url = f"http://{bound[0]}:{bound[1]}"
+        self._ready.set()
+        try:
+            await self._stop
+        finally:
+            await self.app.stop(server)

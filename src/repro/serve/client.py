@@ -1,0 +1,187 @@
+"""A small blocking client for the campaign service (stdlib only).
+
+Used by ``repro submit`` / ``repro watch`` and by tests: plain
+``http.client`` exchanges for the JSON endpoints plus an SSE reader
+for the live event stream.  :func:`watch` reconnects automatically --
+the stream's ``id:`` fields are journal byte offsets, so a reconnect
+from the last seen id replays the remainder byte-identically (see
+``docs/SERVICE.md``).
+
+Service-level problems (non-2xx answers) raise :class:`ServiceError`,
+a ``ValueError`` subclass so the CLI's uniform error handling maps
+them to exit status 2; network-level problems raise ``OSError``
+subclasses, which map the same way.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceError", "SseEvent", "submit", "get_json", "watch"]
+
+
+class ServiceError(ValueError):
+    """A non-2xx answer from the campaign service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service answered {status}: {message}")
+        self.status = status
+
+
+class SseEvent:
+    """One parsed SSE frame: ``event`` type, ``id`` offset, ``data``."""
+
+    __slots__ = ("event", "id", "data")
+
+    def __init__(self, event: str, id: int | None, data: str) -> None:
+        self.event = event
+        self.id = id
+        self.data = data
+
+    def json(self) -> Any:
+        """The frame payload decoded as JSON."""
+        return json.loads(self.data)
+
+
+def _connect(base_url: str, timeout: float | None) -> http.client.HTTPConnection:
+    url = urlsplit(base_url)
+    if url.scheme not in ("http", ""):
+        raise ValueError(f"unsupported scheme {url.scheme!r} (http only)")
+    host = url.hostname or url.path  # tolerate bare "host:port"
+    port = url.port
+    if port is None and ":" in (url.path or "") and not url.hostname:
+        host, _, raw = url.path.partition(":")
+        port = int(raw)
+    return http.client.HTTPConnection(host, port or 80, timeout=timeout)
+
+
+def _request(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Any = None,
+    *,
+    timeout: float | None = 60.0,
+) -> Any:
+    conn = _connect(base_url, timeout)
+    try:
+        payload = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else None
+        )
+        conn.request(
+            method,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        text = response.read().decode("utf-8", errors="replace")
+        if not 200 <= response.status < 300:
+            message = text
+            try:
+                message = json.loads(text).get("error", text)
+            except ValueError:
+                pass
+            raise ServiceError(response.status, str(message).strip())
+        return json.loads(text) if text else None
+    finally:
+        conn.close()
+
+
+def submit(
+    base_url: str, payload: dict[str, Any], *, timeout: float | None = 60.0
+) -> dict[str, Any]:
+    """``POST /campaigns``; returns the acceptance record (id, links)."""
+    return _request(base_url, "POST", "/campaigns", payload, timeout=timeout)
+
+
+def get_json(
+    base_url: str, path: str, *, timeout: float | None = 60.0
+) -> Any:
+    """``GET`` a JSON endpoint (campaign reports, health, cache)."""
+    return _request(base_url, "GET", path, timeout=timeout)
+
+
+def _read_stream(
+    base_url: str,
+    campaign: str,
+    offset: int,
+    on_event: Callable[[SseEvent], None] | None,
+    timeout: float | None,
+) -> tuple[int, bool]:
+    """Consume one SSE connection; returns (next offset, saw end)."""
+    conn = _connect(base_url, timeout)
+    try:
+        conn.request("GET", f"/campaigns/{campaign}/events?offset={offset}")
+        response = conn.getresponse()
+        if response.status != 200:
+            message = response.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(message).get("error", message)
+            except ValueError:
+                pass
+            raise ServiceError(response.status, str(message).strip())
+        fields: dict[str, str] = {}
+        while True:
+            raw = response.readline()
+            if not raw:
+                return offset, False  # connection dropped mid-stream
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if line:
+                name, _, value = line.partition(":")
+                fields[name.strip()] = value.removeprefix(" ")
+                continue
+            if not fields:
+                continue
+            event = SseEvent(
+                fields.get("event", "message"),
+                int(fields["id"]) if "id" in fields else None,
+                fields.get("data", ""),
+            )
+            fields = {}
+            if event.id is not None:
+                offset = event.id
+            if event.event == "end":
+                return offset, True
+            if on_event is not None:
+                on_event(event)
+    finally:
+        conn.close()
+
+
+def watch(
+    base_url: str,
+    campaign: str,
+    *,
+    offset: int = 0,
+    on_event: Callable[[SseEvent], None] | None = None,
+    timeout: float | None = 300.0,
+    reconnect_delay: float = 0.2,
+    max_reconnects: int = 60,
+) -> dict[str, Any]:
+    """Follow a campaign's event stream to the end; return its record.
+
+    Feeds every journal event to ``on_event`` (as :class:`SseEvent`)
+    and reconnects from the last seen offset if the stream drops.
+    Returns the final ``GET /campaigns/{id}`` document, whose
+    ``exit_code`` is the campaign's uniform 0/1/2 status.
+    """
+    reconnects = 0
+    while True:
+        offset, ended = _read_stream(
+            base_url, campaign, offset, on_event, timeout
+        )
+        if ended:
+            return get_json(base_url, f"/campaigns/{campaign}")
+        reconnects += 1
+        if reconnects > max_reconnects:
+            raise ServiceError(
+                504, f"stream for {campaign} kept dropping; gave up"
+            )
+        time.sleep(reconnect_delay)

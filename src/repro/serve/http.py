@@ -1,0 +1,193 @@
+"""A minimal HTTP/1.1 layer on ``asyncio`` streams.
+
+The service deliberately depends on nothing outside the standard
+library, and ``http.server`` is thread-per-connection -- so this
+module implements the small slice of HTTP/1.1 the campaign API needs:
+request-line + header parsing, ``Content-Length`` bodies, plain and
+JSON responses, and Server-Sent-Event framing for the live journal
+stream.  Every response closes the connection (``Connection: close``);
+campaign clients talk in single exchanges, and the one long-lived
+route (SSE) holds its connection open by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "read_request",
+    "json_response",
+    "text_response",
+    "sse_preamble",
+    "sse_event",
+]
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Request bodies larger than this are refused (413).
+MAX_BODY = 8 * 1024 * 1024
+#: Request line / single header line bound (400 beyond it).
+MAX_LINE = 64 * 1024
+
+
+class HttpError(Exception):
+    """A protocol-level problem mapped straight to a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def query_int(self, name: str, default: int = 0) -> int:
+        """A single integer query parameter (400 on garbage)."""
+        values = self.query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise HttpError(400, f"query parameter {name} must be an integer")
+
+    def json(self) -> Any:
+        """The body decoded as JSON (400 on garbage)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON")
+
+
+@dataclass
+class Response:
+    """One buffered (non-streaming) HTTP response."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(self.body)}\r\n"
+            f"Connection: close\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + self.body
+
+
+def json_response(payload: Any, *, status: int = 200) -> Response:
+    """A deterministic (sorted-keys) JSON response."""
+    body = (json.dumps(payload, indent=1, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body, content_type="application/json")
+
+
+def text_response(text: str, *, status: int = 200) -> Response:
+    """A plain-text response (``/metrics``)."""
+    return Response(
+        status=status,
+        body=text.encode("utf-8"),
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+# ----------------------------------------------------------------------
+async def read_request(reader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a closed socket.
+
+    Raises :class:`HttpError` for malformed or oversized requests; the
+    caller renders it as the matching status and closes.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if len(line) > MAX_LINE:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if not _:
+            raise HttpError(400, f"malformed header {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if size > MAX_BODY:
+            raise HttpError(413, f"body exceeds {MAX_BODY} bytes")
+        body = await reader.readexactly(size) if size else b""
+
+    url = urlsplit(target)
+    return Request(
+        method=method,
+        target=target,
+        path=url.path,
+        query=parse_qs(url.query),
+        headers=headers,
+        body=body,
+    )
+
+
+# ----------------------------------------------------------------------
+def sse_preamble() -> bytes:
+    """Response head opening a Server-Sent-Events stream."""
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: text/event-stream\r\n"
+        b"Cache-Control: no-cache\r\n"
+        b"Connection: close\r\n"
+        b"\r\n"
+    )
+
+
+def sse_event(data: bytes, *, id: int | None = None, event: str | None = None) -> bytes:
+    """One SSE frame.  ``data`` must be a single line (journal events are)."""
+    out = b""
+    if event is not None:
+        out += b"event: " + event.encode("ascii") + b"\n"
+    if id is not None:
+        out += b"id: " + str(id).encode("ascii") + b"\n"
+    return out + b"data: " + data + b"\n\n"

@@ -1,0 +1,143 @@
+"""Campaign persistence: the service's restart-safe state directory.
+
+Layout (one directory per campaign)::
+
+    <root>/campaigns/<id>/campaign.json    the submitted request
+    <root>/campaigns/<id>/journal.jsonl    the engine's run journal
+    <root>/campaigns/<id>/report.json      the final structured report
+    <root>/campaigns/<id>/specs/*.proto    inline DSL specs, materialized
+
+``campaign.json`` is written before the campaign is ever scheduled and
+``report.json`` only after it finishes, both atomically -- so after a
+crash the directory tree *is* the recovery protocol: a campaign with a
+report is done; one without is requeued, and its journal (the engine's
+own ``--resume`` format) lets the rerun replay every finished job
+instead of re-verifying it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..obs import clock
+from .model import Campaign, CampaignRequest, CampaignState, campaign_id
+
+__all__ = ["CampaignStore"]
+
+
+def _write_atomic(path: Path, payload: dict[str, Any]) -> None:
+    """Write JSON via temp file + ``os.replace`` (never a torn file)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignStore:
+    """Owns the campaign directories under one service state root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.campaigns_dir = self.root / "campaigns"
+        self.campaigns_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def dir_for(self, campaign_or_id: Campaign | str) -> Path:
+        cid = (
+            campaign_or_id.id
+            if isinstance(campaign_or_id, Campaign)
+            else campaign_or_id
+        )
+        return self.campaigns_dir / cid
+
+    def journal_path(self, campaign: Campaign | str) -> Path:
+        return self.dir_for(campaign) / "journal.jsonl"
+
+    def spec_dir(self, campaign: Campaign | str) -> Path:
+        return self.dir_for(campaign) / "specs"
+
+    def _next_seq(self) -> int:
+        seqs = [0]
+        for entry in self.campaigns_dir.iterdir():
+            name = entry.name
+            if name.startswith("c") and "-" in name:
+                head = name[1:].split("-", 1)[0]
+                if head.isdigit():
+                    seqs.append(int(head))
+        return max(seqs) + 1
+
+    # ------------------------------------------------------------------
+    def create(self, request: CampaignRequest) -> Campaign:
+        """Allocate an id and persist the submission before scheduling."""
+        campaign = Campaign(id=campaign_id(self._next_seq(), request), request=request)
+        _write_atomic(
+            self.dir_for(campaign) / "campaign.json",
+            {
+                "id": campaign.id,
+                "created": round(campaign.created, 3),
+                "request": request.to_dict(),
+            },
+        )
+        return campaign
+
+    def save_report(self, campaign: Campaign) -> None:
+        """Persist the terminal state; this is the 'campaign done' marker."""
+        _write_atomic(
+            self.dir_for(campaign) / "report.json",
+            {
+                "id": campaign.id,
+                "state": campaign.state,
+                "finished": round(campaign.finished or clock.wall(), 3),
+                "exit_code": campaign.exit_code,
+                "error": campaign.error,
+                "report": campaign.report,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def load_all(self) -> Iterator[Campaign]:
+        """Recover every persisted campaign, finished or not, id order.
+
+        Unreadable directories are skipped: recovery must never let one
+        damaged campaign take the whole service down.
+        """
+        for entry in sorted(self.campaigns_dir.iterdir()):
+            meta_path = entry / "campaign.json"
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                request = CampaignRequest.from_dict(meta["request"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            campaign = Campaign(
+                id=meta.get("id", entry.name),
+                request=request,
+                created=float(meta.get("created", 0.0)),
+            )
+            report_path = entry / "report.json"
+            if report_path.exists():
+                try:
+                    final = json.loads(report_path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    final = {}
+                campaign.state = final.get("state", CampaignState.DONE)
+                campaign.finished = final.get("finished")
+                campaign.exit_code = final.get("exit_code")
+                campaign.error = final.get("error")
+                campaign.report = final.get("report")
+            else:
+                # Submitted but never finished: requeue.  An existing
+                # journal means a run was underway -- resume it.
+                campaign.resumed = self.journal_path(campaign).exists()
+            yield campaign
