@@ -8,7 +8,11 @@ Subcommands cover the full workflow a protocol designer would use:
 * ``repro batch --protocols all --mutants --jobs 8`` -- the batch
   engine: parallel verification with result caching and a run journal;
 * ``repro lint --all`` -- the static protocol analyzer: PLxxx rules
-  over specs without running expansion (text/JSON/SARIF output);
+  over specs without running expansion (text/JSON/SARIF output;
+  ``--explain PLxxx`` documents one rule);
+* ``repro ir dump illinois`` -- lower a spec to the canonical
+  guarded-action IR and print it (``--fingerprint`` for the stable
+  content hash);
 * ``repro profile illinois`` -- verify under ``repro.obs``
   instrumentation: per-phase spans and counters as a text report plus
   a Chrome-trace / JSON / Prometheus export;
@@ -417,9 +421,51 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     )
 
 
+def _explain_rules(codes: Sequence[str]) -> int:
+    """``repro lint --explain``: print one rule's documentation card."""
+    from .lint import RULES, SYNTAX_RULE
+    from .lint.registry import resolve_codes
+
+    resolved: list[str] = []
+    for chunk in codes:
+        if chunk == SYNTAX_RULE:
+            resolved.append(SYNTAX_RULE)
+        else:
+            resolved.extend(sorted(resolve_codes([chunk]) or ()))
+    for index, rule_id in enumerate(dict.fromkeys(resolved)):
+        if index:
+            print()
+        if rule_id == SYNTAX_RULE:
+            print(f"{SYNTAX_RULE} syntax-error (error)")
+            print()
+            print(
+                "Reserved for DSL parse failures: the lint front end folds\n"
+                "the parser's message into the report at the offending\n"
+                "line instead of raising, so one broken file cannot abort\n"
+                "a multi-spec run.  No checker function runs under this id."
+            )
+            continue
+        registered = RULES[rule_id]
+        print(
+            f"{registered.id} {registered.name} "
+            f"({registered.severity.value}): {registered.summary}"
+        )
+        print()
+        print(registered.help_text)
+        if registered.example:
+            print()
+            print("Minimal triggering specification:")
+            print()
+            for line in registered.example.strip().splitlines():
+                print(f"    {line}")
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import RENDERERS, lint_all, lint_path, lint_protocol
 
+    if args.explain:
+        return _explain_rules(args.explain)
     reports = []
     if args.all:
         reports.extend(lint_all(select=args.select, ignore=args.ignore))
@@ -444,6 +490,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.strict:
         failing += sum(r.warnings for r in reports)
     return EXIT_VIOLATION if failing else EXIT_OK
+
+
+def _resolve_one_spec(target: str):
+    """One spec from a path, registry name or builtin DSL name."""
+    from pathlib import Path
+
+    if Path(target).exists():
+        return load_protocol(target)
+    from .protocols.registry import get_protocol
+
+    try:
+        return get_protocol(target)
+    except KeyError:
+        pass
+    from .protocols.dsl import load_builtin
+
+    try:
+        return load_builtin(target)
+    except KeyError:
+        raise ValueError(
+            f"unknown spec {target!r}: not a file, a registry protocol "
+            "or a builtin DSL spec"
+        ) from None
+
+
+def _cmd_ir(args: argparse.Namespace) -> int:
+    import json
+
+    from .ir import canonical_json, lower
+
+    ir = lower(_resolve_one_spec(args.spec))
+    if args.fingerprint:
+        print(ir.fingerprint())
+    elif args.compact:
+        print(canonical_json(ir.to_dict()))
+    else:
+        print(json.dumps(ir.to_dict(), indent=2, sort_keys=True))
+    return EXIT_OK
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -872,6 +956,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the report here instead of stdout",
     )
+    p.add_argument(
+        "--explain",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="print one rule's documentation card -- rationale, severity "
+        "and a minimal triggering specification -- instead of linting "
+        "(PLxxx code or kebab-case name; repeatable)",
+    )
+
+    p = sub.add_parser(
+        "ir",
+        help="work with the guarded-action intermediate representation",
+        description="Lower a specification to the canonical guarded-action "
+        "IR (repro.ir): an interned, deterministic decision-list form "
+        "shared by DSL and registry protocols, with a stable content "
+        "fingerprint.  See docs/IR.md for the format.",
+    )
+    ir_sub = p.add_subparsers(dest="ir_command", required=True)
+    p = ir_sub.add_parser(
+        "dump", help="print a spec's IR as canonical JSON"
+    )
+    p.add_argument(
+        "spec",
+        help="a DSL spec file path, a registry protocol name, or a "
+        "builtin DSL spec name",
+    )
+    p.add_argument(
+        "--compact",
+        action="store_true",
+        help="single-line canonical JSON (the exact fingerprint input)",
+    )
+    p.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print only the SHA-256 content fingerprint",
+    )
 
     p = sub.add_parser(
         "profile",
@@ -1235,6 +1356,7 @@ _HANDLERS = {
     "verify": _cmd_verify,
     "batch": _cmd_batch,
     "lint": _cmd_lint,
+    "ir": _cmd_ir,
     "profile": _cmd_profile,
     "mutants": _cmd_mutants,
     "enumerate": _cmd_enumerate,

@@ -478,6 +478,9 @@ def _preflight(
     if findings:
         lint_findings[index] = findings
     if mode == "reject" and not report.ok:
+        coll = _active_collector()
+        if coll is not None:
+            coll.count("engine.preflight.rejected")
         first = next(
             d for d in report.diagnostics if d.severity.value == "error"
         )

@@ -70,8 +70,11 @@ class VerificationJob:
     ``"reject"`` turns error-severity findings into a ``rejected``
     result (no worker ever sees the job), ``"annotate"`` records the
     findings on the result but verifies anyway, ``"off"`` (the
-    default) skips the analysis.  Preflight never changes a verdict,
-    so it is deliberately *not* part of the cache key.
+    default) skips the analysis.  The analysis runs the full rule set,
+    including the flow-sensitive rules over the guarded-action IR
+    (:mod:`repro.lint.flow`), which stay warning-severity: only
+    probe-level errors reject a job.  Preflight never changes a
+    verdict, so it is deliberately *not* part of the cache key.
 
     ``deadline`` / ``max_visits`` / ``max_states`` / ``max_rss_mb``
     are the job's cooperative resource budgets (see

@@ -1,0 +1,48 @@
+"""repro.ir -- canonical guarded-action IR for protocol behaviour.
+
+Lower any specification (DSL or registry) to a flat, integer-interned
+decision list of guarded transitions; serialize it deterministically
+with a stable SHA-256 fingerprint; round-trip it back to a live,
+verifiable :class:`~repro.core.protocol.ProtocolSpec`.
+
+Quickstart::
+
+    from repro.ir import lower
+    from repro.protocols import get
+
+    ir = lower(get("illinois"))
+    print(ir.fingerprint())          # stable across processes
+    twin = ir.to_protocol()          # explore()s identically
+
+The IR is the input format for flow-sensitive lint rules
+(:mod:`repro.lint.flow`) and the planned compiled expansion kernel.
+See ``docs/IR.md`` for the format specification.
+"""
+
+from .lower import lower, lower_dsl, lower_spec
+from .model import (
+    IR_SCHEMA,
+    SELF,
+    IRAction,
+    IRError,
+    IRGuard,
+    IRProtocol,
+    IRTransition,
+    ProtocolIR,
+    canonical_json,
+)
+
+__all__ = [
+    "IR_SCHEMA",
+    "SELF",
+    "IRAction",
+    "IRError",
+    "IRGuard",
+    "IRProtocol",
+    "IRTransition",
+    "ProtocolIR",
+    "canonical_json",
+    "lower",
+    "lower_dsl",
+    "lower_spec",
+]

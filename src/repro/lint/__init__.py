@@ -7,8 +7,11 @@ package is the accompanying checker.  It inspects
 *without running a symbolic expansion*: a pluggable rule registry
 (:func:`~repro.lint.registry.rule`), a diagnostics model with physical
 (DSL line/column) and symbolic locations, three renderers (text, JSON,
-SARIF 2.1.0) and twelve ``PLxxx`` rules grounded in the paper's FSM
-model.  See ``docs/LINT.md`` for the rule catalog.
+SARIF 2.1.0) and sixteen ``PLxxx`` rules grounded in the paper's FSM
+model -- including the flow-sensitive rules powered by abstract
+reachability over the guarded-action IR (:mod:`repro.lint.flow`).
+See ``docs/LINT.md`` for the rule catalog and ``docs/IR.md`` for the
+IR format.
 
 Entry points::
 
@@ -30,12 +33,18 @@ from .api import (
     lint_spec,
 )
 from .context import LintContext, ProbeEntry
+from .flow import FlowAnalysis
 from .model import Diagnostic, LintError, LintReport, Location, Severity
 from .registry import RULES, SYNTAX_RULE, LintRule, rule, selected_rules
 from .render import RENDERERS, render_json, render_sarif, render_text
 
+# Populate RULES with the built-in rule set at import time: the dict is
+# part of the public surface, so it must never be observed half-empty.
+from . import rules as _builtin_rules  # noqa: E402,F401
+
 __all__ = [
     "Diagnostic",
+    "FlowAnalysis",
     "LintContext",
     "LintError",
     "LintReport",

@@ -37,6 +37,9 @@ def lint_spec(
     target: str | None = None,
 ) -> LintReport:
     """Run every selected rule over one specification object."""
+    from .. import obs
+    from .context import _UNSET
+
     context = LintContext(spec)
     found: list[Diagnostic] = []
     for registered in selected_rules(select, ignore):
@@ -47,6 +50,14 @@ def lint_spec(
         (suppressed if context.suppressed(diagnostic) else reported).append(
             diagnostic
         )
+    if reported:
+        obs.count("lint.findings", len(reported))
+    if context._flow is not _UNSET:  # a flow-sensitive rule ran
+        obs.observe("lint.flow.elapsed", context.flow_seconds)
+        if context._flow is None:
+            obs.count("lint.flow.degraded")
+        else:
+            obs.count("lint.flow.configs", len(context._flow.configs))
     return LintReport(
         target=target or spec.name or "<spec>",
         artifact=context.artifact,

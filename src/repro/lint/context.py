@@ -36,6 +36,10 @@ from .model import Diagnostic, Location, Severity
 
 __all__ = ["ProbeEntry", "LintContext", "probe_contexts"]
 
+#: Sentinel for "not computed yet" in the lazy IR/flow slots (``None``
+#: is a meaningful cached value: "lowering/analysis failed").
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class ProbeEntry:
@@ -94,6 +98,9 @@ class LintContext:
         self._probes: list[ProbeEntry] | None = None
         self._edges: dict[str, frozenset[str]] | None = None
         self._reachable: frozenset[str] | None = None
+        self._ir: object = _UNSET
+        self._flow: object = _UNSET
+        self.flow_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Probe table
@@ -167,6 +174,46 @@ class LintContext:
     def probes_for(self, state: str, op: Op) -> list[ProbeEntry]:
         """The probe entries of one ``(state, op)`` pair."""
         return [e for e in self.probes if e.state == state and e.op is op]
+
+    # ------------------------------------------------------------------
+    # Guarded-action IR and flow analysis
+    # ------------------------------------------------------------------
+    @property
+    def ir(self):
+        """The spec lowered to :class:`~repro.ir.ProtocolIR`, or ``None``.
+
+        ``None`` means lowering failed (e.g. a registry ``react`` that
+        raises on some probed context); flow-sensitive rules degrade
+        gracefully to their syntactic fallbacks in that case.
+        """
+        if self._ir is _UNSET:
+            from ..ir import lower  # local: avoid import cycles
+
+            try:
+                self._ir = lower(self.spec)
+            except Exception:  # noqa: BLE001 - degrade, never crash lint
+                self._ir = None
+        return self._ir
+
+    @property
+    def flow(self):
+        """The abstract-reachability analysis, or ``None`` on failure."""
+        if self._flow is _UNSET:
+            from ..obs import clock
+            from .flow import FlowAnalysis
+
+            started = clock.monotonic()
+            ir = self.ir
+            if ir is None:
+                self._flow = None
+            else:
+                try:
+                    self._flow = FlowAnalysis(ir)
+                except Exception:  # noqa: BLE001 - degrade, never crash
+                    self._flow = None
+            #: Wall time of lowering + fixpoint (obs: lint.flow.elapsed).
+            self.flow_seconds = clock.monotonic() - started
+        return self._flow
 
     # ------------------------------------------------------------------
     # Reachability

@@ -50,6 +50,8 @@ class LintRule:
     severity: Severity
     summary: str
     check: Callable[["LintContext"], Iterator[Diagnostic]]
+    #: A minimal DSL specification triggering the rule (``--explain``).
+    example: str = ""
 
     @property
     def help_text(self) -> str:
@@ -62,7 +64,12 @@ RULES: dict[str, LintRule] = {}
 
 
 def rule(
-    id: str, severity: Severity, name: str, summary: str
+    id: str,
+    severity: Severity,
+    name: str,
+    summary: str,
+    *,
+    example: str = "",
 ) -> Callable[
     [Callable[["LintContext"], Iterator[Diagnostic]]],
     Callable[["LintContext"], Iterator[Diagnostic]],
@@ -77,7 +84,12 @@ def rule(
         if id in RULES:
             raise ValueError(f"duplicate rule id {id}")
         RULES[id] = LintRule(
-            id=id, name=name, severity=severity, summary=summary, check=check
+            id=id,
+            name=name,
+            severity=severity,
+            summary=summary,
+            check=check,
+            example=example,
         )
         return check
 

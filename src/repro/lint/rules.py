@@ -8,19 +8,28 @@ is diagnosed without paying for (or crashing) a symbolic verification.
 
 Rule ids are stable: ``PL000`` is reserved for DSL parse errors (emitted
 by the front end in :mod:`repro.lint.api`), ``PL001``--``PL011`` are the
-checkers below.  See ``docs/LINT.md`` for the full catalog with
-rationale and examples.
+probe-based checkers, ``PL012``--``PL015`` are flow-sensitive: they
+consult the abstract-reachability analysis over the guarded-action IR
+(:mod:`repro.lint.flow`) and degrade gracefully (fall back or stay
+silent) when lowering fails.  The flow analysis also *demotes* false
+positives of the probe-based rules: PL002 skips rules the fixpoint
+proves selectable, and PL008 only warns about stalls that are
+permanent under abstract reachability.  See ``docs/LINT.md`` for the
+full catalog with rationale and examples.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..core.errors import ForbidMultiple, ForbidTogether
 from ..core.symbols import Op
 from .context import LintContext
 from .model import Diagnostic, Location, Severity
 from .registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flow import FlowAnalysis
 
 __all__: list[str] = []
 
@@ -38,10 +47,175 @@ def _ctx_text(present: frozenset[str]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Minimal triggering specifications (``repro lint --explain PLxxx``).
+# Registry-only rules (PL004, PL007) have no DSL trigger and keep the
+# empty default.
+# ----------------------------------------------------------------------
+_EX_UNREACHABLE = """\
+protocol unreachable
+states I S E
+invalid I
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+_EX_SHADOWED = """\
+protocol shadowed
+states I S
+invalid I
+sharing-detection on
+on I R if any -> S load memory
+on I R if has(S) -> S load cache:S ; S => S
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+_EX_HOLE = """\
+protocol hole
+states I S
+invalid I
+sharing-detection on
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W if any -> S writethrough ; all => I
+on S Z -> I
+"""
+
+_EX_NOWIRE = """\
+protocol nowire
+states I S
+invalid I
+sharing-detection off
+on I R if any -> S load memory
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+_EX_BROKEN_SUPPLIER = """\
+protocol broken-supplier
+states I S D
+invalid I
+on I R -> S load cache:D
+on I W -> D load memory ; all => I
+on S R -> S
+on S W -> D ; all => I
+on S Z -> I
+on D R -> D
+on D W -> D
+on D Z -> I writeback self
+"""
+
+_EX_DEADLOCK = """\
+protocol deadlock
+operations R W Z L
+states I S
+invalid I
+on I R -> S load memory
+on I W -> S load memory
+on I L -> stall
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+on S L -> stall
+"""
+
+_EX_POINTLESS_GUARD = """\
+protocol pointless-guard
+states I S
+invalid I
+sharing-detection on
+on I R -> S load memory
+on I W -> S load memory
+on S R if any -> S
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+_EX_DEAD_RULE = """\
+protocol deadrule
+states I S
+invalid I
+restrict W only-from S
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+_EX_WIRE_UNUSED = """\
+protocol wire-unused
+states I S
+invalid I
+sharing-detection on
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+#: State E is probe-reachable (the singleton context {E} selects the
+#: guarded fill), but no abstractly reachable configuration ever
+#: contains E, so its rules are dead and the has(E) guard vacuous.
+_EX_FLOW_DEAD = """\
+protocol flowdead
+states I S E
+invalid I
+on I R if has(E) -> E load cache:E
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+on E R -> E
+on E W -> E
+on E Z -> I
+"""
+
+#: A silent write hit while sibling copies provably coexist.
+_EX_RACEY = """\
+protocol racey
+states I V
+invalid I
+on I R -> V load memory
+on I W -> V load memory
+on V R -> V
+on V W -> V
+on V Z -> I
+"""
+
+_EX_VACUOUS = """\
+protocol vacuous
+states I S
+invalid I
+sharing-detection on
+on I R if any & none -> S load memory
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+"""
+
+
+# ----------------------------------------------------------------------
 # PL001 -- unreachable state
 # ----------------------------------------------------------------------
 @rule("PL001", Severity.ERROR, "unreachable-state",
-      "state has no transition or reaction path from the invalid state")
+      "state has no transition or reaction path from the invalid state",
+      example=_EX_UNREACHABLE)
 def check_unreachable_state(ctx: LintContext) -> Iterator[Diagnostic]:
     """A state no cache can ever enter.
 
@@ -68,7 +242,8 @@ def check_unreachable_state(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL002 -- shadowed guard (DSL only)
 # ----------------------------------------------------------------------
 @rule("PL002", Severity.WARNING, "shadowed-guard",
-      "an earlier rule matches every context this rule could match")
+      "an earlier rule matches every context this rule could match",
+      example=_EX_SHADOWED)
 def check_shadowed_guard(ctx: LintContext) -> Iterator[Diagnostic]:
     """A DSL rule that first-match-wins order makes unselectable.
 
@@ -78,10 +253,21 @@ def check_shadowed_guard(ctx: LintContext) -> Iterator[Diagnostic]:
     typically a mis-ordered ``if any`` before an ``if has(...)``.
     Rules excluded from the alphabet or by ``restrict`` are PL010's
     business, not this rule's.
+
+    The probe sample under-approximates contexts, so the flow analysis
+    is consulted as a second chance: a rule the abstract-reachability
+    fixpoint proves selectable in some reachable configuration is never
+    flagged, even when every sampled context misses it.
     """
     if ctx.dsl is None:
         return
     selected = {e.rule_index for e in ctx.probes if e.rule_index is not None}
+    flow = ctx.flow
+    if flow is not None:
+        for t_index in flow.selected:
+            origin = flow.ir.transitions[t_index].origin
+            if origin is not None:
+                selected.add(origin)
     for index, dsl_rule in enumerate(ctx.dsl._rules):
         if index in selected:
             continue
@@ -115,7 +301,8 @@ def check_shadowed_guard(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL003 -- non-exhaustive operation
 # ----------------------------------------------------------------------
 @rule("PL003", Severity.ERROR, "non-exhaustive-op",
-      "an applicable (state, operation) pair has no behaviour in some context")
+      "an applicable (state, operation) pair has no behaviour in some context",
+      example=_EX_HOLE)
 def check_non_exhaustive(ctx: LintContext) -> Iterator[Diagnostic]:
     """A hole in the transition function.
 
@@ -227,7 +414,8 @@ def check_unknown_state_ref(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL005 -- sharing-detection mismatch (DSL only)
 # ----------------------------------------------------------------------
 @rule("PL005", Severity.ERROR, "sharing-mismatch",
-      "guards read the sharing line but sharing-detection is off")
+      "guards read the sharing line but sharing-detection is off",
+      example=_EX_NOWIRE)
 def check_sharing_mismatch(ctx: LintContext) -> Iterator[Diagnostic]:
     """Characteristic-function mismatch (paper Definition 5).
 
@@ -259,7 +447,8 @@ def check_sharing_mismatch(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL006 -- unsatisfiable supplier (DSL only)
 # ----------------------------------------------------------------------
 @rule("PL006", Severity.ERROR, "unsatisfiable-supplier",
-      "a selected rule loads or writes back from a copy its context lacks")
+      "a selected rule loads or writes back from a copy its context lacks",
+      example=_EX_BROKEN_SUPPLIER)
 def check_unsatisfiable_supplier(ctx: LintContext) -> Iterator[Diagnostic]:
     """A data clause whose supplier cannot exist when the rule fires.
 
@@ -356,20 +545,23 @@ def check_invalid_observer(ctx: LintContext) -> Iterator[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
-# PL008 -- stall cycle heuristic
+# PL008 -- stall cycle (flow-routed, with a syntactic fallback)
 # ----------------------------------------------------------------------
-@rule("PL008", Severity.WARNING, "stall-cycle",
-      "an operation stalls in a state with no non-stall exit path")
-def check_stall_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
-    """Deadlock smell, after Sethi et al.'s flow-based analysis.
+def _stall_location(ctx: LintContext, state: str, op: Op) -> Location:
+    """Best location for a stall finding: the first stalling DSL rule."""
+    if ctx.dsl is not None:
+        stalling = [r for r in ctx.dsl.rules_for(state, op) if r.stalled]
+        if stalling:
+            return ctx.rule_location(ctx.dsl._rules.index(stalling[0]))
+    return ctx.symbolic(f"react({state}, {op.value})")
 
-    If every probed context stalls operation *op* in state *s*, the
-    issuing processor can only make progress if *other* operations can
-    move the cache (or an observer reaction can move it) to a state
-    where *op* eventually completes.  When no such state is reachable
-    from *s*, the stall is permanent -- the static shadow of a
-    deadlock.  Heuristic: the probe sample under-approximates contexts,
-    so the rule warns rather than errors.
+
+def syntactic_stall_findings(ctx: LintContext) -> Iterator[Diagnostic]:
+    """The original probe-sample stall heuristic (PL008's fallback).
+
+    Kept as a named function so the flow-routed rule can degrade to it
+    when lowering fails, and so tests can compare the two analyses'
+    false-positive rates directly.
     """
     completes: set[tuple[str, Op]] = set()
     always_stalls: set[tuple[str, Op]] = set()
@@ -383,19 +575,50 @@ def check_stall_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
         escape = ctx.reachable_from(state)
         if any((other, op) in completes for other in escape):
             continue
-        location = ctx.symbolic(f"react({state}, {op.value})")
-        if ctx.dsl is not None:
-            stalling = [
-                r for r in ctx.dsl.rules_for(state, op) if r.stalled
-            ]
-            if stalling:
-                location = ctx.rule_location(ctx.dsl._rules.index(stalling[0]))
         yield ctx.diag(
             "PL008",
             Severity.WARNING,
             f"operation {op.value} always stalls in state {state} and no "
             "reachable state completes it (possible deadlock)",
-            location,
+            _stall_location(ctx, state, op),
+        )
+
+
+@rule("PL008", Severity.WARNING, "stall-cycle",
+      "an operation stalls in a state with no non-stall exit path",
+      example=_EX_DEADLOCK)
+def check_stall_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Non-progress cycle, after Sethi et al.'s flow-based analysis.
+
+    A stall is only a deadlock when it is *permanent*: the operation
+    stalls in every reachable context of the state, and no state the
+    cache can flow to (by issuing other operations or by being snooped)
+    completes it.  The check runs on the abstract-reachability fixpoint
+    over the guarded-action IR, so a stall that some deeper-than-sampled
+    context resolves is not flagged -- the flow engine strictly demotes
+    the old probe-sample heuristic's false positives.  When lowering
+    fails the probe-sample heuristic still runs as a fallback.
+    """
+    flow = ctx.flow
+    if flow is None:
+        yield from syntactic_stall_findings(ctx)
+        return
+    ir = flow.ir
+    permanent = sorted(
+        flow.stalls - flow.completes,
+        key=lambda cell: (ir.states[cell[0]], ir.ops[cell[1]]),
+    )
+    for sid, oid in permanent:
+        escape = flow.reachable_from(sid)
+        if any((other, oid) in flow.completes for other in escape):
+            continue
+        state, op = ir.states[sid], Op(ir.ops[oid])
+        yield ctx.diag(
+            "PL008",
+            Severity.WARNING,
+            f"operation {op.value} always stalls in state {state} and no "
+            "reachable state completes it (possible deadlock)",
+            _stall_location(ctx, state, op),
         )
 
 
@@ -403,7 +626,8 @@ def check_stall_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL009 -- no-op rule (DSL only)
 # ----------------------------------------------------------------------
 @rule("PL009", Severity.INFO, "no-op-rule",
-      "a guarded rule is a self-loop with no effects")
+      "a guarded rule is a self-loop with no effects",
+      example=_EX_POINTLESS_GUARD)
 def check_no_op_rule(ctx: LintContext) -> Iterator[Diagnostic]:
     """A guarded transition that changes nothing.
 
@@ -438,7 +662,8 @@ def check_no_op_rule(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL010 -- dead rule (DSL only)
 # ----------------------------------------------------------------------
 @rule("PL010", Severity.WARNING, "dead-rule",
-      "a rule's operation is outside the alphabet or excluded by restrict")
+      "a rule's operation is outside the alphabet or excluded by restrict",
+      example=_EX_DEAD_RULE)
 def check_dead_rule(ctx: LintContext) -> Iterator[Diagnostic]:
     """A rule that applicability filtering removes before matching.
 
@@ -474,7 +699,8 @@ def check_dead_rule(ctx: LintContext) -> Iterator[Diagnostic]:
 # PL011 -- unused sharing detection (DSL only)
 # ----------------------------------------------------------------------
 @rule("PL011", Severity.WARNING, "unused-sharing",
-      "sharing-detection is on but no guard reads the sharing line")
+      "sharing-detection is on but no guard reads the sharing line",
+      example=_EX_WIRE_UNUSED)
 def check_unused_sharing(ctx: LintContext) -> Iterator[Diagnostic]:
     """Declared hardware nobody consults.
 
@@ -496,3 +722,228 @@ def check_unused_sharing(ctx: LintContext) -> Iterator[Diagnostic]:
         "'sharing-detection off' unless the sharing line is intentional",
         ctx.directive_location("sharing-detection"),
     )
+
+
+# ----------------------------------------------------------------------
+# PL012 -- unreachable transition (flow-sensitive)
+# ----------------------------------------------------------------------
+@rule("PL012", Severity.WARNING, "unreachable-transition",
+      "a transition's source state is never abstractly reachable",
+      example=_EX_FLOW_DEAD)
+def check_unreachable_transition(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Transitions from a state the system can never actually occupy.
+
+    PL001 checks *syntactic* reachability (does any edge enter the
+    state?); this rule checks *semantic* reachability: starting from
+    the all-invalid configuration (paper Section 2.1), does any
+    reachable abstract configuration contain the state at all?  A state
+    can pass PL001 -- some rule names it as a target -- while the guard
+    on that rule can never hold along any real execution, leaving the
+    whole row of the transition table dead.  Reachability is computed
+    by the fixpoint in :mod:`repro.lint.flow` over the 0/1/many
+    abstraction, a sound over-approximation: a state it cannot reach is
+    unreachable in every concrete system size.  States PL001 already
+    rejects are skipped.
+    """
+    flow = ctx.flow
+    if flow is None:
+        return
+    ir = flow.ir
+    seen: set[tuple[int, int]] = set()
+    for t in ir.transitions:
+        if t.state in flow.reachable_states:
+            continue
+        if ir.states[t.state] not in ctx.reachable:
+            continue  # PL001's business (an ERROR already)
+        if (t.state, t.op) in seen:
+            continue
+        seen.add((t.state, t.op))
+        state, op = ir.states[t.state], ir.ops[t.op]
+        location = (
+            ctx.rule_location(t.origin)
+            if ctx.dsl is not None and t.origin is not None
+            else ctx.symbolic(f"react({state}, {op})")
+        )
+        yield ctx.diag(
+            "PL012",
+            Severity.WARNING,
+            f"transition 'on {state} {op}' can never fire: no reachable "
+            f"configuration contains a cache in state {state} (the state "
+            "is only entered by rules whose guards never hold)",
+            location,
+        )
+
+
+# ----------------------------------------------------------------------
+# PL013 -- subsumed guard (flow-sensitive, DSL only)
+# ----------------------------------------------------------------------
+@rule("PL013", Severity.WARNING, "subsumed-guard",
+      "an earlier transition claims every reachable context this guard matches",
+      example=_EX_SHADOWED)
+def check_subsumed_guard(ctx: LintContext) -> Iterator[Diagnostic]:
+    """First-match subsumption proven over reachable contexts.
+
+    PL002 reports a rule no *sampled* context selects; this rule proves
+    the stronger flow-sensitive fact: the guard is satisfiable in
+    reachable configurations, but an earlier transition of the same
+    ``(state, op)`` cell wins every one of them, naming the culprit.
+    Distinct from PL015 (guard never satisfiable at all): a subsumed
+    guard describes real contexts and the fix is reordering; a vacuous
+    guard describes none and the fix is deletion.  Only rules the
+    author wrote are flagged (synthesized registry decision lists
+    shadow by construction).
+    """
+    flow = ctx.flow
+    if flow is None or ctx.dsl is None:
+        return
+    ir = flow.ir
+    for index, t in enumerate(ir.transitions):
+        if index in flow.selected or t.origin is None:
+            continue
+        presents = flow.cell_contexts.get((t.state, t.op))
+        if not presents:
+            continue  # cell unreachable: PL012 / PL001
+        satisfied = sorted(
+            (p for p in presents if t.guard.holds(p)),
+            key=lambda p: (len(p), sorted(p)),
+        )
+        if not satisfied:
+            continue  # PL015's business
+        culprits: set[int] = set()
+        for p in satisfied:
+            for other_index, other in enumerate(ir.transitions[:index]):
+                if (
+                    (other.state, other.op) == (t.state, t.op)
+                    and other.guard.holds(p)
+                ):
+                    culprits.add(other_index)
+                    break
+        culprit_lines = sorted(
+            {
+                ctx.dsl._rules[ir.transitions[c].origin].line_no
+                for c in culprits
+                if ir.transitions[c].origin is not None
+            }
+        )
+        detail = (
+            f" (claimed by the rule{'s' if len(culprit_lines) > 1 else ''} at "
+            f"line{'s' if len(culprit_lines) > 1 else ''} "
+            f"{', '.join(map(str, culprit_lines))})"
+            if culprit_lines
+            else ""
+        )
+        example = _ctx_text(frozenset(ir.states[s] for s in satisfied[0]))
+        yield ctx.diag(
+            "PL013",
+            Severity.WARNING,
+            f"guard '{t.guard.render(ir.states)}' is reachably satisfiable "
+            f"(e.g. in context {example}) but an earlier rule always matches "
+            f"first{detail}; reorder or delete the rule",
+            ctx.rule_location(t.origin),
+        )
+
+
+# ----------------------------------------------------------------------
+# PL014 -- permission race (flow-sensitive)
+# ----------------------------------------------------------------------
+@rule("PL014", Severity.WARNING, "permission-race",
+      "a silent write hit leaves another cache holding a live copy",
+      example=_EX_RACEY)
+def check_permission_race(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Two caches holding write permission under the sharing abstraction.
+
+    A *write hit* -- W issued from a valid state -- that completes
+    without invalidating or updating the other copies its reachable
+    context provably contains means two caches each believe they may
+    write locally: the paper's single-writer invariant (Definition 2's
+    forbidden patterns exist to enforce it) is violated before any
+    expansion runs.  The rule only fires on configurations the
+    abstract-reachability fixpoint actually reaches, so protocols whose
+    exclusivity discipline keeps sharers away from silent writes
+    (every zoo protocol) stay clean.  Write *misses* are out of scope:
+    they go on the bus by construction, and stale-copy effects are the
+    verifier's data-consistency check (Definition 3).
+    """
+    flow = ctx.flow
+    if flow is None:
+        return
+    ir = flow.ir
+    if "W" not in ir.ops:
+        return
+    w = ir.op_id("W")
+    reported: set[tuple[int, int]] = set()
+    for sid in sorted(ir.valid_ids()):
+        for present, index in sorted(
+            flow.selections.get((sid, w), ()),
+            key=lambda pair: (sorted(pair[0]), pair[1]),
+        ):
+            t = ir.transitions[index]
+            if t.action.stalled:
+                continue
+            reactions = {obs: (nxt, upd) for obs, nxt, upd in t.action.observers}
+            for other in sorted(present):
+                nxt, updated = reactions.get(other, (other, False))
+                if nxt == ir.invalid or updated:
+                    continue
+                if (sid, other) in reported:
+                    continue
+                reported.add((sid, other))
+                state = ir.states[sid]
+                location = (
+                    ctx.rule_location(t.origin)
+                    if ctx.dsl is not None and t.origin is not None
+                    else ctx.symbolic(f"react({state}, W)")
+                )
+                yield ctx.diag(
+                    "PL014",
+                    Severity.WARNING,
+                    f"write hit from {state} completes in reachable context "
+                    f"{_ctx_text(frozenset(ir.states[s] for s in present))} "
+                    f"without invalidating or updating the {ir.states[other]} "
+                    "copy -- two caches can hold write permission",
+                    location,
+                )
+
+
+# ----------------------------------------------------------------------
+# PL015 -- vacuous guard (flow-sensitive, DSL only)
+# ----------------------------------------------------------------------
+@rule("PL015", Severity.WARNING, "vacuous-guard",
+      "a guard is satisfied by no reachable context of its cell",
+      example=_EX_VACUOUS)
+def check_vacuous_guard(ctx: LintContext) -> Iterator[Diagnostic]:
+    """A guard that no reachable observation context can ever satisfy.
+
+    The cell itself is reachable, but across every present-set the
+    abstract fixpoint observes there, the conjunction never holds --
+    either it is contradictory outright (``any & none``) or it tests
+    for company the protocol makes impossible (``has(E)`` when E never
+    coexists with the issuing state).  Stall rules are exempt: a
+    blocking guard that reachability analysis proves idle means the
+    exclusion it defends against already works (lock-style protocols
+    keep defensive ``stall`` arms for states their own discipline makes
+    unreachable), whereas a vacuous guard on a *completing* transition
+    is dead action logic.  Only author-written rules are flagged.
+    """
+    flow = ctx.flow
+    if flow is None or ctx.dsl is None:
+        return
+    ir = flow.ir
+    for index, t in enumerate(ir.transitions):
+        if index in flow.selected or t.origin is None:
+            continue
+        if t.action.stalled or t.guard.always:
+            continue
+        presents = flow.cell_contexts.get((t.state, t.op))
+        if not presents:
+            continue  # cell unreachable: PL012 / PL001
+        if any(t.guard.holds(p) for p in presents):
+            continue  # PL013's business
+        yield ctx.diag(
+            "PL015",
+            Severity.WARNING,
+            f"guard '{t.guard.render(ir.states)}' is vacuous: none of the "
+            f"{len(presents)} reachable context{'s' if len(presents) > 1 else ''} "
+            f"of ({ir.states[t.state]}, {ir.ops[t.op]}) satisfies it",
+            ctx.rule_location(t.origin),
+        )

@@ -472,6 +472,18 @@ class DslProtocol(ProtocolSpec):
         """The declaration-ordered rules for one (state, op) pair."""
         return [r for r in self._rules if r.state == state and r.op is op]
 
+    def to_ir(self):
+        """Lower this spec to the canonical guarded-action IR.
+
+        Convenience for :func:`repro.ir.lower_dsl`: the returned
+        :class:`~repro.ir.ProtocolIR` is exact (one IR transition per
+        compiled rule, with source origins preserved), serializable via
+        ``to_dict()`` and fingerprintable.
+        """
+        from ..ir import lower_dsl  # local: repro.ir imports this module
+
+        return lower_dsl(self)
+
 
 def parse_protocol(
     text: str, *, default_name: str = "unnamed", source_path: str | None = None

@@ -156,6 +156,12 @@ class CampaignRequest:
         Called at submission time so bad requests fail with a 400
         instead of erroring asynchronously inside a worker.  All
         resolution problems surface as ``ValueError``.
+
+        When the campaign asks for ``preflight: "reject"`` the inline
+        specs are additionally linted here: a spec the preflight would
+        reject anyway fails the whole submission up front, with the
+        findings in the 400 body, instead of producing a ``rejected``
+        job result minutes later.
         """
         from ..protocols.dsl import DslError, parse_protocol
         from ..protocols.registry import resolve_specs
@@ -172,6 +178,23 @@ class CampaignRequest:
                 parse_protocol(source, default_name=name)
             except DslError as exc:
                 raise ValueError(f"inline spec {name!r}: {exc}")
+        if self.preflight == "reject":
+            from ..lint import Severity, lint_source
+
+            for name, source in self.specs:
+                report = lint_source(source, name=name)
+                errors = [
+                    d
+                    for d in report.diagnostics
+                    if d.severity is Severity.ERROR
+                ]
+                if errors:
+                    summary = "; ".join(
+                        f"{d.rule}: {d.message}" for d in errors
+                    )
+                    raise ValueError(
+                        f"inline spec {name!r} fails lint preflight: {summary}"
+                    )
 
     def jobs(
         self,

@@ -26,7 +26,13 @@ perturbations of them; this subsystem removes the human from the loop:
 * :mod:`repro.testkit.campaign` -- the ``repro fuzz`` driver: a
   seeded, budgeted campaign whose symbolic half is dispatched through
   the engine batch runner (guard budgets, journal, result cache) and
-  whose findings land in the corpus, auto-shrunk.
+  whose findings land in the corpus, auto-shrunk;
+* :mod:`repro.testkit.irdiff` -- the guarded-action IR differential
+  harness: lowering a spec to :mod:`repro.ir` and lifting it back must
+  preserve the expansion exactly, and the flow analysis
+  (:mod:`repro.lint.flow`) must never be contradicted by the symbolic
+  verifier (it is an over-approximation, so exercised transitions must
+  be flow-completing and guaranteed-populated states flow-reachable).
 
 Related verification efforts (the GAL model of a coherence protocol,
 Meunier et al.; the CXL.cache formalisation, Tan et al.) found their
@@ -39,6 +45,7 @@ one.  See ``docs/TESTING.md``.
 from .campaign import CampaignConfig, CampaignReport, run_campaign
 from .corpus import Corpus, CorpusEntry, ReplayReport
 from .generate import GeneratorConfig, RuleModel, SpecGenerator, SpecModel
+from .irdiff import IRDiffFinding, IRDiffReport, diff_all, diff_spec
 from .oracle import (
     Disagreement,
     OracleBudget,
@@ -56,6 +63,8 @@ __all__ = [
     "CorpusEntry",
     "Disagreement",
     "GeneratorConfig",
+    "IRDiffFinding",
+    "IRDiffReport",
     "OracleBudget",
     "OracleReport",
     "ReplayReport",
@@ -64,6 +73,8 @@ __all__ = [
     "SpecGenerator",
     "SpecModel",
     "SymbolicView",
+    "diff_all",
+    "diff_spec",
     "run_campaign",
     "run_oracle",
     "shrink",

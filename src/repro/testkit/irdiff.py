@@ -1,0 +1,212 @@
+"""Differential soundness harness for the guarded-action IR.
+
+The IR (:mod:`repro.ir`) and the flow analysis built on it
+(:mod:`repro.lint.flow`) both make claims about a protocol without
+running the symbolic verifier; this module checks those claims
+*against* the verifier, the same way :mod:`repro.testkit.oracle` pits
+the symbolic engine against the concrete enumeration.  Three claim
+families, each a finding when violated:
+
+``roundtrip``
+    Lowering a specification to IR and lifting it back must preserve
+    behaviour exactly: the round-tripped protocol's Figure 3 expansion
+    must produce the same verdict, the same violation kinds and the
+    same essential composite-state set as the original.
+
+``serialization``
+    ``ProtocolIR.from_dict(ir.to_dict())`` must reproduce the IR
+    bit-for-bit -- same canonical rendering, same fingerprint.
+
+``flow``
+    The abstract-reachability fixpoint is an *over*-approximation, so
+    the symbolic expansion can never contradict it: every initiator
+    transition the expansion exercises must land in a cell the flow
+    analysis marks as completing, and every FSM state the essential
+    set guarantees populated (a ``1`` or ``+`` class) must be
+    flow-reachable.  A violation means a flow-sensitive lint rule
+    (PL012/PL015, the PL008 upgrade) could flag live behaviour.
+
+Run it over one spec with :func:`diff_spec`, or over the whole
+shipped zoo with :func:`diff_all`; the testkit test suite replays it
+over the regression corpus as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.essential import ExpansionResult, explore
+from ..core.operators import Rep
+from ..core.protocol import ProtocolSpec
+from ..ir import ProtocolIR, lower
+
+__all__ = [
+    "IRDiffFinding",
+    "IRDiffReport",
+    "diff_spec",
+    "diff_all",
+]
+
+
+@dataclass(frozen=True)
+class IRDiffFinding:
+    """One contradiction between the IR layer and the verifier."""
+
+    #: ``roundtrip`` / ``serialization`` / ``flow``.
+    kind: str
+    spec: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.spec}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class IRDiffReport:
+    """Outcome of the harness on one specification."""
+
+    spec: str
+    findings: tuple[IRDiffFinding, ...]
+    #: Essential composite states of the original specification.
+    essential: int
+    #: Reachable abstract configurations of the flow fixpoint.
+    configs: int
+
+    @property
+    def ok(self) -> bool:
+        """True iff no claim was contradicted."""
+        return not self.findings
+
+    def describe(self) -> str:
+        """One summary line plus one line per finding."""
+        verdict = "agree" if self.ok else f"{len(self.findings)} findings"
+        lines = [
+            f"{self.spec}: {self.essential} essential states, "
+            f"{self.configs} abstract configs -- {verdict}"
+        ]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _essential_key(result: ExpansionResult) -> frozenset[str]:
+    """A comparable canonical form of one essential-state set."""
+    return frozenset(state.pretty() for state in result.essential)
+
+
+def _verdict_findings(
+    name: str, base: ExpansionResult, lifted: ExpansionResult
+) -> Iterable[IRDiffFinding]:
+    base_kinds = sorted(v.kind.value for v in base.violations)
+    lifted_kinds = sorted(v.kind.value for v in lifted.violations)
+    if base_kinds != lifted_kinds:
+        yield IRDiffFinding(
+            "roundtrip",
+            name,
+            f"violation kinds differ: {base_kinds} vs {lifted_kinds} "
+            "after IR round-trip",
+        )
+    base_key = _essential_key(base)
+    lifted_key = _essential_key(lifted)
+    if base_key != lifted_key:
+        only_base = sorted(base_key - lifted_key)
+        only_lifted = sorted(lifted_key - base_key)
+        yield IRDiffFinding(
+            "roundtrip",
+            name,
+            f"essential sets differ: {len(only_base)} states lost "
+            f"{only_base[:3]}, {len(only_lifted)} states gained "
+            f"{only_lifted[:3]}",
+        )
+
+
+def _flow_findings(
+    name: str, ir: ProtocolIR, flow, base: ExpansionResult
+) -> Iterable[IRDiffFinding]:
+    """Symbolic facts the over-approximation must cover."""
+    # Every exercised initiator transition completes in some reachable
+    # concrete context, so its cell must be flow-completing.
+    exercised = {
+        (t.label.initiator, t.label.op.value) for t in base.transitions
+    }
+    for state, op in sorted(exercised):
+        cell = (ir.state_id(state), ir.op_id(op))
+        if cell not in flow.completes:
+            yield IRDiffFinding(
+                "flow",
+                name,
+                f"expansion exercises ({state}, {op}) but the flow "
+                "analysis never completes that cell",
+            )
+    # Every state the essential set guarantees populated (a `1` or `+`
+    # class) is concretely reachable, so it must be flow-reachable.
+    guaranteed = {
+        label.symbol
+        for state in base.essential
+        for label, rep in state.classes
+        if rep in (Rep.ONE, Rep.PLUS) and label.symbol != ir.states[ir.invalid]
+    }
+    for symbol in sorted(guaranteed):
+        if ir.state_id(symbol) not in flow.reachable_states:
+            yield IRDiffFinding(
+                "flow",
+                name,
+                f"essential states guarantee a {symbol} copy but the "
+                "flow analysis never reaches it",
+            )
+
+
+def diff_spec(
+    spec: ProtocolSpec,
+    *,
+    augmented: bool = True,
+    max_visits: int = 1_000_000,
+) -> IRDiffReport:
+    """Run every differential check on one specification."""
+    from ..lint.flow import FlowAnalysis  # local: lint imports repro.ir
+
+    name = spec.name or "<spec>"
+    findings: list[IRDiffFinding] = []
+
+    ir = lower(spec)
+    replica = ProtocolIR.from_dict(ir.to_dict())
+    if replica.fingerprint() != ir.fingerprint():
+        findings.append(
+            IRDiffFinding(
+                "serialization",
+                name,
+                "to_dict/from_dict round-trip changed the fingerprint "
+                f"({ir.fingerprint()[:12]} -> {replica.fingerprint()[:12]})",
+            )
+        )
+
+    base = explore(spec, augmented=augmented, max_visits=max_visits)
+    lifted = explore(
+        ir.to_protocol(), augmented=augmented, max_visits=max_visits
+    )
+    findings.extend(_verdict_findings(name, base, lifted))
+
+    flow = FlowAnalysis(ir)
+    findings.extend(_flow_findings(name, ir, flow, base))
+
+    return IRDiffReport(
+        spec=name,
+        findings=tuple(findings),
+        essential=len(base.essential),
+        configs=len(flow.configs),
+    )
+
+
+def diff_all(*, augmented: bool = True) -> list[IRDiffReport]:
+    """Run the harness over the whole shipped zoo (registry + DSL)."""
+    from ..protocols.dsl import builtin_spec_names, load_builtin
+    from ..protocols.registry import all_protocols
+
+    reports = [
+        diff_spec(spec, augmented=augmented) for spec in all_protocols()
+    ]
+    reports.extend(
+        diff_spec(load_builtin(name), augmented=augmented)
+        for name in builtin_spec_names()
+    )
+    return reports

@@ -1,0 +1,195 @@
+"""Tests for the guarded-action IR (``repro.ir``).
+
+The load-bearing property is behavioural round-trip identity: lowering
+any shipped specification (registry object or DSL source) to the IR
+and lifting it back must produce a protocol whose Figure 3 expansion
+is indistinguishable from the original -- same verdict, same essential
+composite-state set.  Around that: deterministic serialization and
+fingerprinting, restriction synthesis, error handling, and the
+``repro ir dump`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.ir import (
+    IRError,
+    IRGuard,
+    ProtocolIR,
+    canonical_json,
+    lower,
+    lower_dsl,
+    lower_spec,
+)
+from repro.protocols.dsl import builtin_spec_names, load_builtin, load_protocol
+from repro.protocols.registry import get_protocol, protocol_names
+from repro.testkit.irdiff import diff_spec
+
+CORPUS = sorted(Path("tests/corpus").glob("*.proto"))
+
+
+# ----------------------------------------------------------------------
+# Round-trip identity (the acceptance criterion)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", protocol_names())
+def test_registry_protocol_roundtrips(name):
+    report = diff_spec(get_protocol(name))
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("name", builtin_spec_names())
+def test_builtin_dsl_spec_roundtrips(name):
+    report = diff_spec(load_builtin(name))
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_entry_roundtrips(path):
+    report = diff_spec(load_protocol(path))
+    assert report.ok, report.describe()
+
+
+# ----------------------------------------------------------------------
+# Lowering specifics
+# ----------------------------------------------------------------------
+def test_dsl_lowering_preserves_rule_origins():
+    dsl = load_builtin("msi")
+    ir = lower_dsl(dsl)
+    assert [t.origin for t in ir.transitions] == list(
+        range(len(dsl._rules))
+    )
+
+
+def test_registry_lowering_has_no_origins():
+    ir = lower_spec(get_protocol("msi"))
+    assert all(t.origin is None for t in ir.transitions)
+
+
+def test_lower_dispatches_on_spec_kind():
+    assert [t.origin for t in lower(load_builtin("msi")).transitions] != [
+        None
+    ] * len(lower(load_builtin("msi")).transitions)
+    assert lower(get_protocol("msi")).name == "msi"
+
+
+def test_dsl_to_ir_convenience():
+    ir = load_builtin("illinois").to_ir()
+    assert isinstance(ir, ProtocolIR)
+    assert ir.fingerprint() == lower_dsl(load_builtin("illinois")).fingerprint()
+
+
+def test_lock_msi_restriction_is_synthesized():
+    """The registry lock-msi limits which states may issue Lock/Unlock;
+    the prober must rediscover that as an IR restriction so the
+    round-tripped protocol matches ``applicable`` exactly."""
+    spec = get_protocol("lock-msi")
+    ir = lower_spec(spec)
+    assert ir.restrictions, "expected synthesized applicability limits"
+    lifted = ir.to_protocol()
+    for state in spec.states:
+        for op in spec.operations:
+            assert lifted.applicable(state, op) == spec.applicable(state, op)
+
+
+# ----------------------------------------------------------------------
+# Serialization and fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_deterministic():
+    assert (
+        lower(get_protocol("moesi")).fingerprint()
+        == lower(get_protocol("moesi")).fingerprint()
+    )
+
+
+def test_fingerprint_distinguishes_protocols():
+    prints = {lower(get_protocol(n)).fingerprint() for n in protocol_names()}
+    assert len(prints) == len(protocol_names())
+
+
+def test_to_dict_from_dict_roundtrip():
+    ir = lower(get_protocol("dragon"))
+    replica = ProtocolIR.from_dict(ir.to_dict())
+    assert replica.to_dict() == ir.to_dict()
+    assert replica.fingerprint() == ir.fingerprint()
+
+
+def test_to_dict_survives_json():
+    ir = lower(load_builtin("firefly"))
+    replica = ProtocolIR.from_dict(json.loads(json.dumps(ir.to_dict())))
+    assert replica.fingerprint() == ir.fingerprint()
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json(
+        {"a": [2, 3], "b": 1}
+    )
+
+
+def test_from_dict_rejects_wrong_schema():
+    payload = lower(get_protocol("msi")).to_dict()
+    payload["schema"] = "repro-ir/999"
+    with pytest.raises(IRError):
+        ProtocolIR.from_dict(payload)
+
+
+def test_from_dict_rejects_malformed_document():
+    with pytest.raises(IRError):
+        ProtocolIR.from_dict({"schema": "repro-ir/1"})
+
+
+def test_unknown_symbols_raise():
+    ir = lower(get_protocol("msi"))
+    with pytest.raises(IRError):
+        ir.state_id("NoSuchState")
+    with pytest.raises(IRError):
+        ir.op_id("Q")
+
+
+def test_guard_render_is_stable():
+    ir = lower(load_builtin("illinois"))
+    guarded = [t for t in ir.transitions if not t.guard.always]
+    assert guarded, "illinois has guarded rules"
+    for t in guarded:
+        assert t.guard.render(ir.states)  # non-empty, no crash
+
+
+# ----------------------------------------------------------------------
+# CLI: repro ir dump
+# ----------------------------------------------------------------------
+def test_cli_ir_dump_registry_name(capsys):
+    assert main(["ir", "dump", "msi"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-ir/1"
+    assert payload["name"] == "msi"
+
+
+def test_cli_ir_dump_compact_matches_fingerprint_input(capsys):
+    assert main(["ir", "dump", "msi", "--compact"]) == 0
+    compact = capsys.readouterr().out.strip()
+    assert compact == canonical_json(lower(get_protocol("msi")).to_dict())
+
+
+def test_cli_ir_dump_fingerprint(capsys):
+    assert main(["ir", "dump", "illinois", "--fingerprint"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out == lower(get_protocol("illinois")).fingerprint()
+
+
+def test_cli_ir_dump_spec_file(tmp_path, capsys):
+    src = Path("src/repro/protocols/specs/msi.proto").read_text(
+        encoding="utf-8"
+    )
+    path = tmp_path / "mine.proto"
+    path.write_text(src, encoding="utf-8")
+    assert main(["ir", "dump", str(path)]) == 0
+    assert json.loads(capsys.readouterr().out)["name"] == "msi-dsl"
+
+
+def test_cli_ir_dump_unknown_spec(capsys):
+    assert main(["ir", "dump", "no-such-spec"]) == 2
+    assert "unknown spec" in capsys.readouterr().err

@@ -328,6 +328,27 @@ on S W -> S writethrough ; all => I
 on S Z -> I
 """,
     ),
+    # The flow-sensitive rules (PL012-PL015) use their registered
+    # --explain examples as positives, so the examples stay honest.
+    "PL012": (RULES["PL012"].example, CLEAN),
+    "PL013": (
+        RULES["PL013"].example,
+        # Specific guard before the general one: nothing subsumed.
+        """\
+protocol ordered
+states I S
+invalid I
+sharing-detection on
+on I R if has(S) -> S load cache:S ; S => S
+on I R -> S load memory
+on I W -> S load memory
+on S R -> S
+on S W -> S writethrough ; all => I
+on S Z -> I
+""",
+    ),
+    "PL014": (RULES["PL014"].example, CLEAN),
+    "PL015": (RULES["PL015"].example, CLEAN),
 }
 
 
@@ -512,8 +533,16 @@ class TestSelection:
 # ----------------------------------------------------------------------
 class TestRenderers:
     def _reports(self):
+        # Scoped to PL006: the renderer tests pin the exact output
+        # shape for a single-finding report (PL014 also fires on the
+        # broken-supplier spec's silent write hit).
         return [
-            lint_source(BROKEN_SUPPLIER, name="broken", path="broken.proto"),
+            lint_source(
+                BROKEN_SUPPLIER,
+                name="broken",
+                path="broken.proto",
+                select=["PL006"],
+            ),
             lint_source(CLEAN, name="clean"),
         ]
 
