@@ -9,10 +9,13 @@ log.
 
 The ``bench_core`` fixture additionally records machine-readable
 headline numbers into ``BENCH_CORE.json`` at the repository root: one
-entry per ``(bench, protocol, n)``, merged into whatever the file
-already holds so partial benchmark runs never wipe other benches'
-numbers.  The file is the stable interface for dashboards and for
-cross-PR performance comparisons.
+entry per ``(bench, protocol, n, backend)``, merged into whatever the
+file already holds so partial benchmark runs never wipe other benches'
+numbers.  Each entry carries the expansion ``backend`` that produced
+it (``interp`` / ``kernel``) and the package ``version`` it was
+recorded under, so interpreter-vs-kernel speedups -- and regressions
+across PRs -- compare like with like.  The file is the stable
+interface for dashboards and for cross-PR performance comparisons.
 """
 
 from __future__ import annotations
@@ -23,11 +26,15 @@ from typing import Any
 
 import pytest
 
+from repro import __version__
+
 #: Where the machine-readable headline numbers live (repo root).
 BENCH_CORE_PATH = Path(__file__).resolve().parent.parent / "BENCH_CORE.json"
 
 #: Schema identifier stamped into the file (bump on shape changes).
-BENCH_CORE_SCHEMA = "repro-bench-core/1"
+#: "/2": entries gained ``backend`` (part of the merge key) and
+#: ``version``.
+BENCH_CORE_SCHEMA = "repro-bench-core/2"
 
 #: Entries recorded by this pytest session (merged into the file at
 #: session end).
@@ -58,7 +65,9 @@ def bench_core():
     symbolic expansion, whose cost is n-independent); ``seconds`` is
     the mean wall time in seconds -- pass ``benchmark=benchmark`` to
     take it from a completed pytest-benchmark run, or ``None`` when
-    the bench only counts work.
+    the bench only counts work.  ``backend`` names the expansion
+    engine the numbers were measured on and is part of the merge key,
+    so interpreter and kernel entries coexist.
     """
 
     def _record(
@@ -70,6 +79,7 @@ def bench_core():
         essential: int | None = None,
         seconds: float | None = None,
         benchmark: Any = None,
+        backend: str = "interp",
     ) -> None:
         if seconds is None and benchmark is not None:
             seconds = benchmark_mean(benchmark)
@@ -78,6 +88,8 @@ def bench_core():
                 "bench": bench,
                 "protocol": protocol,
                 "n": n,
+                "backend": backend,
+                "version": __version__,
                 "visits": visits,
                 "essential": essential,
                 "seconds": round(seconds, 6) if seconds is not None else None,
@@ -103,20 +115,37 @@ def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
     """Merge this session's entries into BENCH_CORE.json."""
     if not _recorded:
         return
-    merged: dict[tuple[str, str, int | None], dict[str, Any]] = {}
+    merged: dict[tuple[str, str, int | None, str], dict[str, Any]] = {}
     try:
         existing = json.loads(BENCH_CORE_PATH.read_text(encoding="utf-8"))
         for entry in existing.get("entries", []):
-            merged[(entry["bench"], entry["protocol"], entry.get("n"))] = entry
+            # Schema /1 entries predate the backend field: they were
+            # all measured on the interpreter.
+            entry.setdefault("backend", "interp")
+            merged[
+                (
+                    entry["bench"],
+                    entry["protocol"],
+                    entry.get("n"),
+                    entry["backend"],
+                )
+            ] = entry
     except (OSError, ValueError, KeyError, TypeError):
         pass  # first run, or an unreadable file we simply rewrite
     for entry in _recorded:
-        merged[(entry["bench"], entry["protocol"], entry["n"])] = entry
+        merged[
+            (entry["bench"], entry["protocol"], entry["n"], entry["backend"])
+        ] = entry
     document = {
         "schema": BENCH_CORE_SCHEMA,
         "entries": sorted(
             merged.values(),
-            key=lambda e: (e["bench"], e["protocol"], e["n"] if e["n"] is not None else -1),
+            key=lambda e: (
+                e["bench"],
+                e["protocol"],
+                e["n"] if e["n"] is not None else -1,
+                e["backend"],
+            ),
         ),
     }
     BENCH_CORE_PATH.write_text(

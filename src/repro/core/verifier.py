@@ -118,6 +118,7 @@ def verify(
     validate_spec: bool = True,
     preflight: str = "off",
     guard: "Guard | None" = None,
+    backend: str = "interp",
 ) -> VerificationReport:
     """Verify a protocol; the library's main entry point.
 
@@ -135,11 +136,22 @@ def verify(
     :class:`~repro.engine.guard.Guard`: an exhausted budget yields a
     *partial* report (``report.partial``) instead of raising, and
     ``max_visits`` is ignored in favour of the guard's own budgets.
+
+    ``backend`` selects the expansion engine: ``"interp"`` (the
+    default) runs the symbolic interpreter, ``"kernel"`` the compiled
+    kernel (:mod:`repro.kernel`), which produces identical verdicts,
+    violations, witnesses and essential sets.  A spec the kernel
+    cannot compile (no IR lowering) silently falls back to the
+    interpreter; see ``docs/KERNEL.md``.
     """
     if preflight not in ("off", "reject", "annotate"):
         raise ValueError(
             f"preflight must be 'off', 'reject' or 'annotate', "
             f"not {preflight!r}"
+        )
+    if backend not in ("interp", "kernel"):
+        raise ValueError(
+            f"backend must be 'interp' or 'kernel', not {backend!r}"
         )
     if isinstance(protocol, str):
         # Imported lazily: the registry lives above the core package.
@@ -158,7 +170,19 @@ def verify(
             raise LintError(lint_report)
     if validate_spec:
         spec.validate()
-    result = explore(
+    expand = explore
+    if backend == "kernel":
+        # Imported lazily: the kernel lives above the core package.
+        from ..kernel import KernelUnsupportedError, compile_protocol
+        from ..kernel import explore as kernel_explore
+
+        try:
+            compile_protocol(spec)
+        except KernelUnsupportedError:
+            expand = explore  # fall back to the interpreter
+        else:
+            expand = kernel_explore
+    result = expand(
         spec,
         augmented=augmented,
         pruning=pruning,

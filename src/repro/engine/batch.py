@@ -24,7 +24,7 @@ the result cache for verdicts), re-dispatching only the remainder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from ..obs import NOOP_SPAN
@@ -186,6 +186,7 @@ def run_batch(
     grace: float | None = None,
     runner: SerialRunner | ParallelRunner | None = None,
     preflight: str | None = None,
+    backend: str | None = None,
     resume: Sequence[dict[str, Any]] | None = None,
 ) -> BatchReport:
     """Verify every job, reusing cached results and journaling the run.
@@ -218,6 +219,11 @@ def run_batch(
         ``"reject"`` or ``"annotate"``); ``None`` honours the per-job
         setting.  Preflight runs in *this* process, before cache lookup
         and worker dispatch: a rejected job never reaches a worker.
+    backend:
+        Override every job's expansion ``backend`` (``"interp"`` or
+        ``"kernel"``); ``None`` honours the per-job setting.  The
+        override rewrites the jobs themselves, so cache keys and
+        journal metadata reflect the backend that actually ran.
     resume:
         Event stream of an interrupted run (``RunJournal.read(path)``):
         jobs whose ``job_finish`` record carries a terminal
@@ -236,7 +242,16 @@ def run_batch(
             "preflight must be None, 'off', 'reject' or 'annotate', "
             f"not {preflight!r}"
         )
+    if backend not in (None, "interp", "kernel"):
+        raise ValueError(
+            f"backend must be None, 'interp' or 'kernel', not {backend!r}"
+        )
     jobs = list(jobs)
+    if backend is not None:
+        jobs = [
+            job if job.backend == backend else replace(job, backend=backend)
+            for job in jobs
+        ]
     if journal is None:
         journal = RunJournal()
     started = clock.monotonic()
@@ -259,6 +274,7 @@ def run_batch(
         cache_dir=str(cache.root) if cache is not None else None,
         journal=str(journal.path) if journal.path is not None else None,
         preflight=preflight,
+        backend=backend,
     )
 
     # A resumed run adopts the prior journal's terminal error/rejected

@@ -35,7 +35,8 @@ __all__ = [
 #: shape, so stale cache entries are never replayed.
 #: "2": budgets joined the job key and payloads may carry a
 #: ``partial`` section.
-ENGINE_VERSION = "2"
+#: "3": the expansion backend joined the job key.
+ENGINE_VERSION = "3"
 
 
 def canonical_json(payload: Any) -> str:
@@ -67,6 +68,7 @@ def job_key(fingerprint: str, job: VerificationJob) -> str:
                 "fingerprint": fingerprint,
                 "augmented": job.augmented,
                 "pruning": job.pruning,
+                "backend": job.backend,
                 "max_visits": job.max_visits,
                 "deadline": job.deadline,
                 "max_states": job.max_states,

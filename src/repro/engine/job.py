@@ -82,6 +82,13 @@ class VerificationJob:
     structured ``partial`` result instead of an error.  They *are*
     part of the cache key -- a partial result is only replayed for a
     job requesting the same budgets.
+
+    ``backend`` selects the expansion engine (``"interp"`` or
+    ``"kernel"``, see :mod:`repro.kernel`).  It is part of the cache
+    key: both backends produce identical verdicts, but keeping the
+    payloads separate means a cached entry always says which engine
+    produced it -- and the documented ``stats.scenarios`` divergence
+    on warm kernel runs never leaks across backends.
     """
 
     protocol: str | None = None
@@ -93,6 +100,7 @@ class VerificationJob:
     max_visits: int = 1_000_000
     validate_spec: bool = False
     preflight: str = "off"
+    backend: str = "interp"
     deadline: float | None = None
     max_states: int | None = None
     max_rss_mb: float | None = None
@@ -111,6 +119,10 @@ class VerificationJob:
             raise ValueError(
                 "preflight must be 'off', 'reject' or 'annotate', "
                 f"not {self.preflight!r}"
+            )
+        if self.backend not in ("interp", "kernel"):
+            raise ValueError(
+                f"backend must be 'interp' or 'kernel', not {self.backend!r}"
             )
         if not self.label:
             object.__setattr__(self, "label", self._default_label())
@@ -163,6 +175,7 @@ class VerificationJob:
             "max_visits": self.max_visits,
             "validate_spec": self.validate_spec,
             "preflight": self.preflight,
+            "backend": self.backend,
             "deadline": self.deadline,
             "max_states": self.max_states,
             "max_rss_mb": self.max_rss_mb,
@@ -263,6 +276,7 @@ def execute_job(
             pruning=PruningMode(job.pruning),
             validate_spec=job.validate_spec,
             guard=guard,
+            backend=job.backend,
         )
         result = report.result
         if result.violations:

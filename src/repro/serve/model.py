@@ -57,6 +57,7 @@ class CampaignRequest:
     priority: str = "normal"
     structural: bool = False
     preflight: str | None = None
+    backend: str = "interp"
     deadline: float | None = None
     max_visits: int = 1_000_000
 
@@ -74,6 +75,10 @@ class CampaignRequest:
             raise ValueError(
                 "preflight must be 'off', 'reject' or 'annotate', "
                 f"not {self.preflight!r}"
+            )
+        if self.backend not in ("interp", "kernel"):
+            raise ValueError(
+                f"backend must be 'interp' or 'kernel', not {self.backend!r}"
             )
         if not self.tenant or not isinstance(self.tenant, str):
             raise ValueError("tenant must be a non-empty string")
@@ -98,6 +103,7 @@ class CampaignRequest:
             "priority",
             "structural",
             "preflight",
+            "backend",
             "deadline",
             "max_visits",
         }
@@ -123,6 +129,9 @@ class CampaignRequest:
         max_visits = payload.get("max_visits", 1_000_000)
         if not isinstance(max_visits, int):
             raise ValueError("max_visits must be an integer")
+        backend = payload.get("backend", "interp")
+        if not isinstance(backend, str):
+            raise ValueError("backend must be a string")
         return cls(
             protocols=tuple(protocols),
             mutants=bool(payload.get("mutants", False)),
@@ -131,6 +140,7 @@ class CampaignRequest:
             priority=payload.get("priority", "normal"),
             structural=bool(payload.get("structural", False)),
             preflight=payload.get("preflight"),
+            backend=backend,
             deadline=float(deadline) if deadline is not None else None,
             max_visits=max_visits,
         )
@@ -145,6 +155,7 @@ class CampaignRequest:
             "priority": self.priority,
             "structural": self.structural,
             "preflight": self.preflight,
+            "backend": self.backend,
             "deadline": self.deadline,
             "max_visits": self.max_visits,
         }
@@ -239,6 +250,7 @@ class CampaignRequest:
                     protocol=name,
                     augmented=not self.structural,
                     validate_spec=True,
+                    backend=self.backend,
                     deadline=deadline,
                     max_visits=max_visits,
                 )
@@ -250,6 +262,7 @@ class CampaignRequest:
                             protocol=name,
                             mutant=mutant.mutation.key,
                             augmented=not self.structural,
+                            backend=self.backend,
                             deadline=deadline,
                             max_visits=max_visits,
                         )
@@ -263,6 +276,7 @@ class CampaignRequest:
                 VerificationJob(
                     spec_file=str(path),
                     augmented=not self.structural,
+                    backend=self.backend,
                     deadline=deadline,
                     max_visits=max_visits,
                 )

@@ -32,7 +32,13 @@ perturbations of them; this subsystem removes the human from the loop:
   preserve the expansion exactly, and the flow analysis
   (:mod:`repro.lint.flow`) must never be contradicted by the symbolic
   verifier (it is an over-approximation, so exercised transitions must
-  be flow-completing and guaranteed-populated states flow-reachable).
+  be flow-completing and guaranteed-populated states flow-reachable);
+* :mod:`repro.testkit.kerneldiff` -- the compiled-kernel parity gate:
+  :mod:`repro.kernel` must be observably identical to the interpreter
+  (verdicts, violation kinds, essential sets, concrete state spaces)
+  over the zoo, the builtin DSL specs, the pinned corpus and freshly
+  generated specifications; budget-exhausted comparisons degrade to
+  skipped instead of failing.
 
 Related verification efforts (the GAL model of a coherence protocol,
 Meunier et al.; the CXL.cache formalisation, Tan et al.) found their
@@ -46,6 +52,14 @@ from .campaign import CampaignConfig, CampaignReport, run_campaign
 from .corpus import Corpus, CorpusEntry, ReplayReport
 from .generate import GeneratorConfig, RuleModel, SpecGenerator, SpecModel
 from .irdiff import IRDiffFinding, IRDiffReport, diff_all, diff_spec
+from .kerneldiff import (
+    KernelDiffFinding,
+    KernelDiffReport,
+    kernel_diff_all,
+    kernel_diff_corpus,
+    kernel_diff_generated,
+    kernel_diff_spec,
+)
 from .oracle import (
     Disagreement,
     OracleBudget,
@@ -65,6 +79,8 @@ __all__ = [
     "GeneratorConfig",
     "IRDiffFinding",
     "IRDiffReport",
+    "KernelDiffFinding",
+    "KernelDiffReport",
     "OracleBudget",
     "OracleReport",
     "ReplayReport",
@@ -75,6 +91,10 @@ __all__ = [
     "SymbolicView",
     "diff_all",
     "diff_spec",
+    "kernel_diff_all",
+    "kernel_diff_corpus",
+    "kernel_diff_generated",
+    "kernel_diff_spec",
     "run_campaign",
     "run_oracle",
     "shrink",
