@@ -43,7 +43,7 @@ from .lint import LintError, LintReport, lint_all, lint_spec
 from .obs import Collector, render_report, use_collector
 from .protocols import all_protocols, get_protocol, protocol_names
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BatchReport",

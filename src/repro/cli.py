@@ -40,6 +40,7 @@ Every subcommand uses the same exit-status convention (documented in
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Sequence
 
@@ -79,8 +80,28 @@ EXIT_VIOLATION = 1
 EXIT_ERROR = 2
 #: Exit status: interrupted by SIGINT (128 + signal number 2).  The
 #: batch engine flushes a ``run_aborted`` journal event first, so the
-#: run can be picked up again with ``repro batch --resume``.
+#: run can be picked up again with ``repro batch --resume``.  SIGTERM
+#: gets the same treatment and exits 143 (128 + 15) -- see
+#: :data:`_last_signal`.
 EXIT_INTERRUPTED = 130
+
+#: The terminating signal a CLI trampoline recorded before raising
+#: ``KeyboardInterrupt``; ``main`` turns it into the conventional
+#: 128+signum exit status (143 for SIGTERM).  ``None`` outside signal
+#: handling (a plain Ctrl-C raises KeyboardInterrupt natively).
+_last_signal: int | None = None
+
+
+def _signal_to_interrupt(signum: int, frame: object) -> None:
+    """Route SIGTERM through the SIGINT path: journal, then 128+signum.
+
+    An orchestrator's kill must behave like an operator's Ctrl-C --
+    the batch engine flushes ``run_aborted`` and keeps every journaled
+    result -- differing only in the exit status reported.
+    """
+    global _last_signal
+    _last_signal = signum
+    raise KeyboardInterrupt
 
 _EXIT_STATUS_DOC = """\
 exit status:
@@ -91,8 +112,9 @@ exit status:
       file, malformed arguments, crashed/timed-out batch jobs,
       budget-exhausted partial results, preflight-rejected
       specifications)
-  130 interrupted (SIGINT); an interrupted batch flushes its journal
-      and can be continued with `repro batch --resume JOURNAL`
+  130 interrupted (SIGINT, 128+2); an interrupted batch flushes its
+      journal and can be continued with `repro batch --resume JOURNAL`
+  143 terminated (SIGTERM, 128+15); same journal semantics as 130
 """
 
 
@@ -176,7 +198,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .engine import ResultCache, RunJournal, VerificationJob, run_batch
+    from .engine import (
+        BackoffPolicy,
+        CircuitBreaker,
+        ResultCache,
+        RunJournal,
+        VerificationJob,
+        run_batch,
+    )
 
     jobs: list[VerificationJob] = []
     names: list[str] = []
@@ -229,19 +258,43 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         resume_events = RunJournal.read(args.resume)
         journal_path = args.resume
         journal_mode = "append"
-    with RunJournal(journal_path, mode=journal_mode) as journal:
-        report = run_batch(
-            jobs,
-            workers=args.jobs,
-            cache=cache,
-            journal=journal,
-            timeout=args.timeout,
-            retries=args.retries,
-            grace=args.grace,
-            preflight=args.preflight,
-            backend=args.backend,
-            resume=resume_events,
+    backoff = (
+        BackoffPolicy(base=args.backoff) if args.backoff is not None else None
+    )
+    breaker = (
+        CircuitBreaker(
+            threshold=args.breaker_threshold, cooldown=args.breaker_cooldown
         )
+        if args.breaker_threshold is not None
+        else None
+    )
+    # A container orchestrator's SIGTERM aborts the run exactly like
+    # Ctrl-C: journal flushed, exit 128+15.  Restored afterwards so
+    # the handler never leaks into other subcommands run in the same
+    # interpreter (tests).
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _signal_to_interrupt)
+    except ValueError:  # not the main thread; keep the default handler
+        previous_sigterm = None
+    try:
+        with RunJournal(journal_path, mode=journal_mode) as journal:
+            report = run_batch(
+                jobs,
+                workers=args.jobs,
+                cache=cache,
+                journal=journal,
+                timeout=args.timeout,
+                retries=args.retries,
+                grace=args.grace,
+                preflight=args.preflight,
+                backend=args.backend,
+                resume=resume_events,
+                backoff=backoff,
+                breaker=breaker,
+            )
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
     print(report.summary_table())
     lint_findings = report.lint_table()
     if lint_findings:
@@ -311,8 +364,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .engine import ResultCache
-    from .serve import ServeApp
+    from .engine import BackoffPolicy, CircuitBreaker, ResultCache
+    from .serve import AdmissionPolicy, ServeApp
 
     tenants: dict[str, float] = {}
     for item in args.tenant:
@@ -328,6 +381,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         tenants=tenants or None,
         preflight=args.preflight,
+        admission=AdmissionPolicy(
+            max_lane_depth=args.max_queue, max_in_flight=args.max_inflight
+        ),
+        read_timeout=args.read_timeout if args.read_timeout > 0 else None,
+        drain_grace=args.drain_grace,
+        # The service always runs resilient: supervised retries back
+        # off, and a spec that keeps killing workers is quarantined
+        # service-wide instead of re-crashing every campaign.
+        backoff=BackoffPolicy(),
+        breaker=CircuitBreaker(),
     )
     asyncio.run(app.serve_forever(args.host, args.port))
     return EXIT_OK
@@ -953,6 +1016,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget for timed-out/crashed jobs (default: 1)",
     )
     p.add_argument(
+        "--backoff",
+        type=float,
+        metavar="SECONDS",
+        help="base delay for exponential retry backoff with "
+        "deterministic jitter (attempt n waits ~SECONDS*2^(n-2), "
+        "capped at 30s); default: retries re-dispatch immediately",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        metavar="N",
+        help="trip a per-spec circuit breaker after N consecutive "
+        "crashes/timeouts: further attempts are quarantined "
+        "(status QUARANTINED, never cached) until the cooldown "
+        "half-opens the breaker; default: no breaker",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds a tripped breaker stays open before admitting "
+        "one half-open probe (default: 30)",
+    )
+    p.add_argument(
         "--resume",
         metavar="JOURNAL",
         help="continue an interrupted run: replay finished jobs from "
@@ -1349,6 +1437,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("reject", "annotate"),
         help="force a lint preflight mode on every campaign",
     )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission control: campaigns queued per priority lane "
+        "before new submissions get 429 + Retry-After (default: 64)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: concurrently executing campaigns "
+        "before new submissions get 429 (default: unlimited)",
+    )
+    p.add_argument(
+        "--read-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-connection bound on parsing one request; slow "
+        "clients get 408 (default: 10; 0 disables)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful drain (SIGTERM/SIGINT): seconds an in-flight "
+        "job gets to honour its soft-cancel before SIGKILL "
+        "(default: 5)",
+    )
 
     p = sub.add_parser(
         "submit",
@@ -1474,18 +1595,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     scripts can tell "the protocol is broken" (1) from "the invocation
     is broken" (2).
     """
+    global _last_signal
     args = build_parser().parse_args(argv)
+    _last_signal = None
     try:
         return _HANDLERS[args.command](args)
     except KeyboardInterrupt:
         # The batch engine has already flushed a run_aborted journal
         # event by the time the interrupt reaches us (see run_batch).
+        # SIGTERM routes through the same path (via the trampoline
+        # handler) and reports 143 instead of 130.
+        signame = (
+            signal.Signals(_last_signal).name
+            if _last_signal is not None
+            else "SIGINT"
+        )
         print(
-            f"repro {args.command}: interrupted; journaled results are "
-            "kept (batch runs continue with --resume)",
+            f"repro {args.command}: interrupted ({signame}); journaled "
+            "results are kept (batch runs continue with --resume)",
             file=sys.stderr,
         )
-        return EXIT_INTERRUPTED
+        return 128 + _last_signal if _last_signal is not None else EXIT_INTERRUPTED
     except (
         KeyError,
         ValueError,

@@ -21,7 +21,13 @@ engine with
   and
 * a deterministic fault-injection harness (:mod:`repro.engine.faults`)
   that the chaos tests use to prove all of the above under worker
-  crashes, hangs, torn journals and corrupt cache entries.
+  crashes, hangs, torn journals and corrupt cache entries, and
+* supervised-retry policies (:mod:`repro.engine.resilience`):
+  exponential backoff with deterministic jitter, a per-fingerprint
+  circuit breaker that quarantines repeat offenders
+  (:class:`CircuitBreaker`, ``quarantined`` results), and a graceful
+  drain-cancel contract (:class:`BatchCancelled`) used by the service
+  layer for clean shutdowns.
 
 Quickstart::
 
@@ -41,12 +47,17 @@ from .fingerprint import ENGINE_VERSION, job_key, spec_fingerprint
 from .guard import Budget, Exhaustion, ExhaustionReason, Guard, current_rss_mb
 from .job import JobResult, JobStatus, VerificationJob, execute_job
 from .journal import JournalFollower, RunJournal
+from .resilience import BackoffPolicy, BatchCancelled, BreakerState, CircuitBreaker
 from .runner import ParallelRunner, SerialRunner, make_runner
 
 __all__ = [
     "ENGINE_VERSION",
+    "BackoffPolicy",
+    "BatchCancelled",
     "BatchReport",
+    "BreakerState",
     "Budget",
+    "CircuitBreaker",
     "Exhaustion",
     "ExhaustionReason",
     "Guard",

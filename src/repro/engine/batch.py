@@ -35,7 +35,8 @@ from .cache import ResultCache
 from .fingerprint import ENGINE_VERSION, spec_fingerprint
 from .job import JobResult, JobStatus, VerificationJob
 from .journal import RunJournal
-from .runner import ParallelRunner, SerialRunner, make_runner
+from .resilience import BackoffPolicy, BatchCancelled, BreakerState, CircuitBreaker
+from .runner import CancelFlag, ParallelRunner, SerialRunner, make_runner
 
 __all__ = ["BatchReport", "run_batch"]
 
@@ -83,6 +84,13 @@ class BatchReport:
         return sum(1 for r in self.results if r.status == JobStatus.REJECTED)
 
     @property
+    def quarantined(self) -> int:
+        """Jobs the circuit breaker refused to dispatch."""
+        return sum(
+            1 for r in self.results if r.status == JobStatus.QUARANTINED
+        )
+
+    @property
     def cache_hits(self) -> int:
         """Jobs replayed from the persistent cache."""
         return sum(1 for r in self.results if r.cached)
@@ -122,6 +130,8 @@ class BatchReport:
                     f"{result.elapsed * 1000:.0f} ms",
                     "lint"
                     if result.status == JobStatus.REJECTED
+                    else "breaker"
+                    if result.status == JobStatus.QUARANTINED
                     else ("cache" if result.cached else "run"),
                 ]
             )
@@ -168,6 +178,8 @@ class BatchReport:
             line += f", {self.partials} partial"
         if self.rejected:
             line += f" ({self.rejected} rejected by preflight)"
+        if self.quarantined:
+            line += f" ({self.quarantined} quarantined by breaker)"
         line += f"; {self.cache_hits} cache hits"
         if self.cache_lookup_misses is not None:
             line += f" / {self.cache_lookup_misses} misses"
@@ -188,6 +200,9 @@ def run_batch(
     preflight: str | None = None,
     backend: str | None = None,
     resume: Sequence[dict[str, Any]] | None = None,
+    backoff: BackoffPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    cancel: CancelFlag | None = None,
 ) -> BatchReport:
     """Verify every job, reusing cached results and journaling the run.
 
@@ -231,6 +246,26 @@ def run_batch(
         without re-dispatching; verified / violation / partial verdicts
         replay through the result cache as usual; timed-out and crashed
         jobs -- and anything the interrupt cut short -- are re-run.
+    backoff:
+        Retry backoff policy (:class:`~repro.engine.resilience.
+        BackoffPolicy`): timed-out/crashed jobs are redispatched after
+        an exponentially growing, deterministically jittered delay
+        instead of immediately.  Parallel runners only.
+    breaker:
+        Circuit breaker (:class:`~repro.engine.resilience.
+        CircuitBreaker`) keyed by spec fingerprint: specs already
+        quarantined are refused at admission with a ``quarantined``
+        result (``breaker_open`` journal event, never cached), and
+        repeated crashes/hangs during this run trip the breaker
+        mid-flight.  Share one breaker across calls to carry
+        quarantine state between campaigns.
+    cancel:
+        Graceful-drain flag (anything with ``is_set()``): when another
+        thread sets it, dispatch stops, in-flight jobs are
+        soft-cancelled through their guards and the batch raises
+        :class:`~repro.engine.resilience.BatchCancelled` after
+        flushing a resumable ``run_aborted`` journal -- the same
+        contract as ``SIGINT``, minus the signal.
 
     A ``KeyboardInterrupt`` mid-dispatch flushes a ``run_aborted``
     event (results finished so far are already journaled and cached --
@@ -360,12 +395,46 @@ def run_batch(
                     )
                     _finish(journal, hit)
                     continue
+            # Cache misses that would hit a tripped breaker are refused
+            # here, before any worker sees them (cache hits above are
+            # served regardless -- quarantine protects workers, and a
+            # replay touches none).  A half-open breaker lets the job
+            # through: the runner dispatches it as the cooldown probe.
+            if (
+                breaker is not None
+                and breaker.state(fingerprint) == BreakerState.OPEN
+            ):
+                journal.emit(
+                    "breaker_open",
+                    job=job.label,
+                    key=fingerprint,
+                    reason="open",
+                    transition="open",
+                    retry_after=round(breaker.retry_after(fingerprint), 3),
+                )
+                results[i] = JobResult(
+                    job,
+                    JobStatus.QUARANTINED,
+                    error=(
+                        "circuit breaker open for this spec fingerprint "
+                        f"(retry after {breaker.retry_after(fingerprint):.1f}s)"
+                    ),
+                    attempts=0,
+                    lint=lint_findings.get(i),
+                )
+                _finish(journal, results[i])
+                continue
             to_run.append(i)
 
     if to_run:
         if runner is None:
             runner = make_runner(
-                workers=workers, timeout=timeout, retries=retries, grace=grace
+                workers=workers,
+                timeout=timeout,
+                retries=retries,
+                grace=grace,
+                backoff=backoff,
+                breaker=breaker,
             )
 
         def on_result(k: int, result: JobResult) -> None:
@@ -382,6 +451,11 @@ def run_batch(
                 cache.put(fingerprints[i], jobs[i], result)
             _finish(journal, result)
 
+        run_kwargs: dict[str, Any] = {}
+        if backoff is not None or breaker is not None:
+            run_kwargs["keys"] = [fingerprints[i] for i in to_run]
+        if cancel is not None:
+            run_kwargs["cancel"] = cancel
         try:
             with (
                 coll.span("batch.dispatch", jobs=len(to_run))
@@ -392,8 +466,9 @@ def run_batch(
                     [jobs[i] for i in to_run],
                     on_event=lambda event, fields: journal.emit(event, **fields),
                     on_result=on_result,
+                    **run_kwargs,
                 )
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, BatchCancelled):
             journal.emit(
                 "run_aborted",
                 jobs=len(jobs),
@@ -417,6 +492,7 @@ def run_batch(
         errors=report.errors,
         partials=report.partials,
         rejected=report.rejected,
+        quarantined=report.quarantined,
         cache_hits=report.cache_hits,
         cache_lookups=(
             {

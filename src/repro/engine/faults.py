@@ -17,12 +17,29 @@ Ingredients:
   fingerprints the very same spec (``spec_to_dict`` exercises every
   reaction) without triggering it;
 * :func:`inject` -- apply a plan to a job list;
-* :func:`corrupt_cache_entry` / :func:`tear_journal` -- storage-level
-  faults: a flipped-bit cache entry and a journal whose final line was
-  cut mid-write;
+* :func:`corrupt_cache_entry` / :func:`tear_journal` /
+  :func:`corrupt_store_file` -- storage-level faults: a flipped-bit
+  cache entry, a journal whose final line was cut mid-write, and a
+  campaign-store JSON file overwritten with garbage;
+* :func:`choke_journal` -- service-level disk exhaustion: wrap a live
+  journal's file backing so the *n*-th append raises ``ENOSPC``,
+  proving the run survives on the in-memory stream;
 * :class:`KillSwitchJournal` -- a journal that raises
-  ``KeyboardInterrupt`` after *n* ``job_finish`` events, simulating an
-  operator's Ctrl-C at a precise point in the run.
+  ``KeyboardInterrupt`` (or delivers a real signal, e.g. ``SIGTERM``)
+  after *n* ``job_finish`` events, simulating an operator's Ctrl-C or
+  an orchestrator's kill at a precise point in the run.
+
+Faults with ``once=True`` detonate exactly one worker attempt and let
+every later attempt through -- the shape of a transient infrastructure
+failure, which supervised retries must absorb without changing the
+verdict.  One-shot state must survive the detonation itself (the
+worker dies with it), so it lives in marker files under the
+``marker_dir`` given to :func:`inject`: the first attempt to
+exclusive-create the marker wins and detonates.
+
+Tearing an SSE connection needs no helper here: the chaos tests sever
+the client socket mid-stream and reconnect with ``?offset=N``, which
+the serve layer must answer byte-identically.
 
 Worker-only detonation relies on process names: ``multiprocessing``
 children are never called ``MainProcess``.  Faults therefore require a
@@ -52,7 +69,9 @@ __all__ = [
     "FaultPlan",
     "FaultedSpec",
     "inject",
+    "choke_journal",
     "corrupt_cache_entry",
+    "corrupt_store_file",
     "tear_journal",
     "KillSwitchJournal",
 ]
@@ -71,10 +90,16 @@ class Fault:
     ``delay`` seconds in *every* reaction, so the job runs -- and
     cooperates with soft-cancel -- but cannot finish within a tight
     timeout.
+
+    ``once=True`` makes the fault transient: exactly one worker
+    attempt detonates, every later attempt behaves like the sound
+    spec.  Requires a ``marker_dir`` at :func:`inject` time so the
+    "already detonated" state survives the dying worker.
     """
 
     kind: str
     delay: float = 0.05
+    once: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -130,9 +155,22 @@ class FaultedSpec(ProtocolSpec):
     faulted spec never shares a fingerprint with its sound original.
     """
 
-    def __init__(self, inner: ProtocolSpec, fault: Fault) -> None:
+    def __init__(
+        self,
+        inner: ProtocolSpec,
+        fault: Fault,
+        marker: str | Path | None = None,
+    ) -> None:
+        if fault.once and marker is None:
+            raise ValueError(
+                "a once-only fault needs a marker path (inject with "
+                "marker_dir=...) so its state survives the dying worker"
+            )
         self.inner = inner
         self.fault = fault
+        #: One-shot claim file: the first worker attempt to create it
+        #: detonates; later attempts see it and run soundly.
+        self.marker = str(marker) if marker is not None else None
         self.name = f"{inner.name}+fault-{fault.kind}"
         self.full_name = f"{inner.full_name or inner.name} (faulted: {fault.kind})"
         self.states = inner.states
@@ -147,8 +185,20 @@ class FaultedSpec(ProtocolSpec):
     def applicable(self, state: str, op: Op) -> bool:
         return self.inner.applicable(state, op)
 
+    def _armed(self) -> bool:
+        """Should this reaction detonate?  Claims the one-shot marker."""
+        if not self.fault.once:
+            return True
+        assert self.marker is not None
+        try:
+            fd = os.open(self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False  # already detonated on an earlier attempt
+        os.close(fd)
+        return True
+
     def react(self, state: str, op: Op, ctx: Ctx) -> Outcome:
-        if _in_worker():
+        if _in_worker() and self._armed():
             if self.fault.kind == "crash":
                 os._exit(13)
             if self.fault.kind == "hang":
@@ -159,26 +209,39 @@ class FaultedSpec(ProtocolSpec):
 
 
 def inject(
-    jobs: Sequence[VerificationJob], plan: FaultPlan
+    jobs: Sequence[VerificationJob],
+    plan: FaultPlan,
+    *,
+    marker_dir: str | Path | None = None,
 ) -> list[VerificationJob]:
     """Apply *plan* to a job list: planned jobs get a faulted spec.
 
     Labels are preserved so journals, caches and resume logic address
     the faulted jobs exactly like their sound counterparts.
+    ``marker_dir`` (required when the plan contains ``once`` faults) is
+    where the one-shot claim files live, one per faulted job index.
     """
+    if marker_dir is not None:
+        marker_dir = Path(marker_dir)
+        marker_dir.mkdir(parents=True, exist_ok=True)
     out: list[VerificationJob] = []
     for i, job in enumerate(jobs):
         fault = plan.fault_for(i)
         if fault is None:
             out.append(job)
             continue
+        marker = (
+            marker_dir / f"fault-{plan.seed}-{i}.detonated"
+            if marker_dir is not None
+            else None
+        )
         out.append(
             replace(
                 job,
                 protocol=None,
                 mutant=None,
                 spec_file=None,
-                spec=FaultedSpec(job.resolve_spec(), fault),
+                spec=FaultedSpec(job.resolve_spec(), fault, marker=marker),
                 label=job.label,
             )
         )
@@ -203,6 +266,55 @@ def corrupt_cache_entry(
     return path
 
 
+def corrupt_store_file(
+    path: str | Path, payload: str = '{"state": "running", "request": [1,'
+) -> Path:
+    """Overwrite a campaign-store JSON file with garbage; returns it.
+
+    Simulates a crash mid-``os.replace`` or filesystem damage in the
+    service's state directory: recovery
+    (:meth:`repro.serve.store.CampaignStore.load_all`) must skip the
+    damaged campaign with a warning instead of refusing to start.
+    """
+    path = Path(path)
+    path.write_text(payload, encoding="utf-8")
+    return path
+
+
+class _ChokingWriter:
+    """File-object wrapper whose *n*-th write raises ``ENOSPC``."""
+
+    def __init__(self, fh: Any, after: int) -> None:
+        self._fh = fh
+        self.after = int(after)
+        self.writes = 0
+
+    def write(self, data: str) -> int:
+        if self.writes >= self.after:
+            import errno
+
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        self.writes += 1
+        return self._fh.write(data)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def choke_journal(journal: RunJournal, *, after: int) -> None:
+    """Make *journal*'s file backing fail with ``ENOSPC`` after *n* writes.
+
+    The journal must keep the run alive on its in-memory event stream
+    (one ``RuntimeWarning``, file backing dropped) -- the service-level
+    disk-full drill.  No-op for in-memory journals.
+    """
+    if journal._fh is not None:
+        journal._fh = _ChokingWriter(journal._fh, after)  # type: ignore[assignment]
+
+
 def tear_journal(path: str | Path, *, drop_bytes: int = 7) -> None:
     """Cut the final *drop_bytes* bytes off a journal file.
 
@@ -223,6 +335,11 @@ class KillSwitchJournal(RunJournal):
     and flushed -- exactly like an operator's Ctrl-C between jobs --
     and only once, so the batch orchestrator's ``run_aborted``
     handling can still journal the abort.
+
+    By default the plug is a raised ``KeyboardInterrupt`` (Ctrl-C).
+    ``signum`` delivers a real signal to this process instead (e.g.
+    ``signal.SIGTERM``), exercising whatever handler the CLI installed
+    -- the shape of a container orchestrator's kill.
     """
 
     def __init__(
@@ -231,9 +348,11 @@ class KillSwitchJournal(RunJournal):
         *,
         after: int,
         mode: str = "new",
+        signum: int | None = None,
     ) -> None:
         super().__init__(path, mode=mode)
         self.after = int(after)
+        self.signum = signum
         self.fired = False
 
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:
@@ -244,5 +363,11 @@ class KillSwitchJournal(RunJournal):
             and self.count("job_finish") >= self.after
         ):
             self.fired = True
-            raise KeyboardInterrupt
+            if self.signum is not None:
+                # The signal is delivered synchronously on this thread:
+                # the interpreter runs the handler at the next bytecode
+                # boundary, right after os.kill returns.
+                os.kill(os.getpid(), self.signum)
+            else:
+                raise KeyboardInterrupt
         return record

@@ -44,6 +44,13 @@ class JobStatus:
     CRASH = "crash"
     #: The lint preflight refused to dispatch a statically-broken spec.
     REJECTED = "rejected"
+    #: The circuit breaker refused to dispatch a spec whose fingerprint
+    #: has repeatedly crashed or hung workers (see
+    #: :class:`repro.engine.resilience.CircuitBreaker`).  Terminal for
+    #: this run, but never cached: the breaker may have cooled down by
+    #: the next run, so a resume re-admits the job through a half-open
+    #: probe.
+    QUARANTINED = "quarantined"
     #: A guard budget (deadline, visits, states, RSS, soft-cancel)
     #: expired before the fixpoint: the payload carries everything
     #: computed so far, but the verdict is inconclusive.
@@ -244,6 +251,7 @@ class JobResult:
             JobStatus.TIMEOUT: "TIMEOUT",
             JobStatus.CRASH: "CRASH",
             JobStatus.REJECTED: "REJECTED",
+            JobStatus.QUARANTINED: "QUARANTINED",
             JobStatus.PARTIAL: "PARTIAL",
         }[self.status]
 

@@ -21,9 +21,15 @@ lint        job, mode, errors, warnings, infos, suppressed, findings
             (the static-analysis preflight; ``findings`` are
             ``Diagnostic.to_dict()`` records)
 cache_hit   job, key
-job_retry   job, attempt, reason
-job_cancel  job, attempt, timeout, grace (soft-cancel: the worker was
-            asked to wrap up and emit a partial result before SIGKILL)
+job_retry   job, attempt, reason, delay (seconds of supervised backoff
+            before the retry is redispatched; 0 without a policy)
+breaker_open job, key, reason, transition, cooldown/retry_after (the
+            circuit breaker tripped for -- or refused to admit -- this
+            spec fingerprint; the job finishes ``quarantined``)
+job_cancel  job, attempt, timeout, grace -- or reason="drain", grace
+            (soft-cancel: the worker was asked to wrap up and emit a
+            partial result before SIGKILL, on per-job timeout or
+            graceful drain)
 job_timeout job, attempt, timeout
 job_crash   job, attempt, exitcode
 job_partial job, reason, attempt (a budget-exhausted worker returned a
@@ -32,9 +38,9 @@ job_replayed job, status (a resumed run adopting a terminal
             error/rejected record from the prior journal)
 job_finish  job, status, ok, cached, attempts, elapsed, visits, expanded,
             essential, error
-run_aborted jobs, finished (the batch was interrupted -- SIGINT --
-            after ``finished`` jobs; the journal is flushed so the run
-            can be resumed)
+run_aborted jobs, finished (the batch was interrupted -- SIGINT,
+            SIGTERM or a graceful drain -- after ``finished`` jobs;
+            the journal is flushed so the run can be resumed)
 run_end     jobs, verified, violations, errors, partials, rejected,
             cache_hits,
             cache_lookups ({hits, misses} from the result cache, or null
@@ -217,13 +223,34 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:
-        """Record one event (and flush it to the JSONL file, if any)."""
+        """Record one event (and flush it to the JSONL file, if any).
+
+        A failed file write (``ENOSPC``, a vanished fd) must not kill
+        the run it is meant to make recoverable: the journal warns
+        once, drops its file backing and keeps collecting events
+        in-memory.  The file keeps every event flushed before the
+        failure -- at worst plus one torn line, which :meth:`read`
+        already skips.
+        """
         record: dict[str, Any] = {"t": round(clock.wall(), 3), "event": event}
         record.update(fields)
         self.events.append(record)
         if self._fh is not None:
-            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-            self._fh.flush()
+            try:
+                self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+                self._fh.flush()
+            except OSError as exc:
+                warnings.warn(
+                    f"journal {self.path}: disabling file backing after "
+                    f"write failure ({exc}); events continue in-memory",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
         return record
 
     def count(self, event: str) -> int:

@@ -23,6 +23,25 @@ results by :func:`~repro.engine.job.execute_job` inside the worker),
 and a partial result delivered during the grace window is terminal --
 re-running it against the same budgets would only exhaust them again.
 
+Retries are *supervised* (see :mod:`repro.engine.resilience`): an
+optional :class:`~repro.engine.resilience.BackoffPolicy` delays each
+retry with deterministic seeded jitter instead of redispatching
+immediately (the ``job_retry`` event records the ``delay``), and an
+optional :class:`~repro.engine.resilience.CircuitBreaker` -- keyed by
+the per-job ``keys`` the batch orchestrator supplies, i.e. spec
+fingerprints -- quarantines specs that keep crashing or hanging:
+once the breaker trips, the job is finalized with a structured
+``quarantined`` result (``breaker_open`` event) instead of burning
+further worker respawns.
+
+Both runners also accept an external ``cancel`` flag for graceful
+drain: when it is set, no further jobs are dispatched, every in-flight
+job is soft-cancelled through the same Guard path as a timeout (its
+partial result is journaled; jobs that ignore the soft-cancel are
+SIGKILLed after the grace window and left unfinished), and the runner
+raises :class:`~repro.engine.resilience.BatchCancelled` so the batch
+orchestrator can flush a resumable ``run_aborted`` journal.
+
 Results are always returned in input order, so serial and parallel
 execution of the same job list are interchangeable.  The optional
 ``on_result`` callback fires the moment each job reaches its terminal
@@ -43,6 +62,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import time
 from collections import deque
 from multiprocessing.connection import Connection, wait as _connection_wait
 from typing import Any, Callable, Sequence
@@ -50,8 +70,13 @@ from typing import Any, Callable, Sequence
 from ..obs import active as _active_collector
 from ..obs import clock
 from .job import JobResult, JobStatus, VerificationJob, execute_job
+from .resilience import BackoffPolicy, BatchCancelled, BreakerState, CircuitBreaker
 
 __all__ = ["SerialRunner", "ParallelRunner", "make_runner"]
+
+#: Minimal duck type for the external drain flag: anything with
+#: ``is_set()`` works (``threading.Event``, ``multiprocessing.Event``).
+CancelFlag = Any
 
 #: Signature of the optional event sink (job_retry / job_cancel /
 #: job_timeout / job_crash / job_partial notifications, forwarded to
@@ -87,18 +112,35 @@ class SerialRunner:
         jobs: Sequence[VerificationJob],
         on_event: EventSink | None = None,
         on_result: ResultSink | None = None,
+        *,
+        keys: Sequence[str] | None = None,
+        cancel: CancelFlag | None = None,
     ) -> list[JobResult]:
-        """Run every job; results are in input order."""
+        """Run every job; results are in input order.
+
+        ``keys`` is accepted for interface parity with
+        :class:`ParallelRunner` but unused: breaker supervision guards
+        against crashes and hangs, which need process isolation to
+        survive in the first place (in-process failures are already
+        folded into deterministic ``error`` results).  ``cancel`` is
+        the graceful-drain flag: when another thread sets it, the job
+        in flight wraps up with a partial result through its guard and
+        :class:`~repro.engine.resilience.BatchCancelled` is raised
+        before the next dispatch.
+        """
+        del keys
         coll = _active_collector()
         run_started = clock.monotonic()
         if coll is not None:
             coll.gauge("engine.workers", 1)
         results = []
         for index, job in enumerate(jobs):
+            if cancel is not None and cancel.is_set():
+                raise BatchCancelled(finished=len(results))
             started = clock.monotonic()
             if coll is not None:
                 coll.observe("engine.queue.wait", started - run_started)
-            result = execute_job(job)
+            result = execute_job(job, cancel=cancel)
             ended = clock.monotonic()
             if coll is not None:
                 coll.add_span(
@@ -122,6 +164,16 @@ class SerialRunner:
             results.append(result)
             if on_result is not None:
                 on_result(index, result)
+            if (
+                cancel is not None
+                and cancel.is_set()
+                and result.partial
+                and result.exhausted_reason == "cancelled"
+            ):
+                # The drain flag cut this job short; its partial is
+                # journaled (so nothing is lost) but never cached, so a
+                # resumed run re-verifies it with full budgets.
+                raise BatchCancelled(finished=len(results) - 1)
         return results
 
 
@@ -192,6 +244,8 @@ class ParallelRunner:
         retries: int = 1,
         grace: float = 1.0,
         start_method: str | None = None,
+        backoff: BackoffPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         import os
 
@@ -201,6 +255,12 @@ class ParallelRunner:
         #: Soft-cancel grace window (seconds): how long a timed-out
         #: worker gets to emit its partial result before SIGKILL.
         self.grace = max(0.0, float(grace))
+        #: Retry backoff policy (``None`` retries immediately, the
+        #: pre-supervision behavior).
+        self.backoff = backoff
+        #: Per-key circuit breaker (``None`` disables quarantining).
+        #: Shared across runs when the caller keeps the runner around.
+        self.breaker = breaker
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -236,9 +296,25 @@ class ParallelRunner:
         jobs: Sequence[VerificationJob],
         on_event: EventSink | None = None,
         on_result: ResultSink | None = None,
+        *,
+        keys: Sequence[str] | None = None,
+        cancel: CancelFlag | None = None,
     ) -> list[JobResult]:
-        """Run every job across the pool; results are in input order."""
+        """Run every job across the pool; results are in input order.
+
+        ``keys`` aligns with ``jobs`` and names each job for breaker
+        supervision and backoff jitter (the batch orchestrator passes
+        spec fingerprints; job labels are the fallback).  ``cancel`` is
+        the graceful-drain flag: once set, dispatch stops, in-flight
+        jobs are soft-cancelled (partials journaled, hung workers
+        SIGKILLed after the grace window and left unfinished) and
+        :class:`~repro.engine.resilience.BatchCancelled` is raised.
+        """
         jobs = list(jobs)
+        if keys is not None and len(keys) != len(jobs):
+            raise ValueError(
+                f"keys length {len(keys)} does not match {len(jobs)} jobs"
+            )
         if not jobs:
             return []
 
@@ -271,8 +347,14 @@ class ParallelRunner:
         pending: deque[tuple[int, int]] = deque(
             (i, 1) for i in range(len(jobs))
         )  # (job index, attempt number)
+        #: Retries waiting out their backoff: (ready at, index, attempt).
+        delayed: list[tuple[float, int, int]] = []
+        draining = False
         tokens = itertools.count()
         slots = [self._spawn() for _ in range(min(self.workers, len(jobs)))]
+
+        def key_for(index: int) -> str:
+            return keys[index] if keys is not None else jobs[index].label
 
         def finalize(index: int, result: JobResult) -> None:
             """Record a terminal result and notify the result sink."""
@@ -281,36 +363,138 @@ class ParallelRunner:
                 on_result(index, result)
 
         def fail_or_retry(slot: _Slot, status: str, error: str) -> None:
-            """Requeue the job or finalize it after a timeout/crash."""
+            """Requeue, quarantine or finalize a job after timeout/crash."""
             reason = "timeout" if status == JobStatus.TIMEOUT else "crash"
             record_job(slot, status)
-            if slot.attempt <= self.retries:
+            index, attempt = slot.index, slot.attempt
+            key = key_for(index)
+            transition = None
+            if self.breaker is not None:
+                transition = self.breaker.record_failure(key)
+            if draining:
+                # Leave the job unfinished: the drain ends with
+                # BatchCancelled, so a resumed run re-dispatches it.
+                pass
+            elif (
+                self.breaker is not None
+                and self.breaker.state(key) == BreakerState.OPEN
+            ):
+                emit(
+                    "breaker_open",
+                    job=jobs[index].label,
+                    key=key,
+                    reason=reason,
+                    transition=transition or "open",
+                    cooldown=self.breaker.cooldown,
+                )
+                finalize(
+                    index,
+                    JobResult(
+                        jobs[index],
+                        JobStatus.QUARANTINED,
+                        error=(
+                            f"circuit breaker opened after repeated {reason} "
+                            f"(last: {error})"
+                        ),
+                        attempts=attempt,
+                        elapsed=clock.monotonic() - slot.started,
+                    ),
+                )
+            elif attempt <= self.retries:
+                delay = 0.0
+                if self.backoff is not None:
+                    delay = self.backoff.delay(key, attempt + 1)
+                    if coll is not None:
+                        coll.observe("engine.retry.backoff", delay)
                 emit(
                     "job_retry",
-                    job=jobs[slot.index].label,
-                    attempt=slot.attempt,
+                    job=jobs[index].label,
+                    attempt=attempt,
                     reason=reason,
+                    delay=round(delay, 6),
                 )
-                pending.append((slot.index, slot.attempt + 1))
+                if delay > 0:
+                    delayed.append((clock.monotonic() + delay, index, attempt + 1))
+                else:
+                    pending.append((index, attempt + 1))
             else:
                 finalize(
-                    slot.index,
+                    index,
                     JobResult(
-                        jobs[slot.index],
+                        jobs[index],
                         status,
                         error=error,
-                        attempts=slot.attempt,
+                        attempts=attempt,
                         elapsed=clock.monotonic() - slot.started,
                     ),
                 )
             self._retire(slot)
-            slots[slots.index(slot)] = self._spawn()
+            if draining:
+                slots.remove(slot)
+            else:
+                slots[slots.index(slot)] = self._spawn()
 
         try:
-            while pending or any(s.token is not None for s in slots):
+            while pending or delayed or any(s.token is not None for s in slots):
+                if cancel is not None and not draining and cancel.is_set():
+                    # Graceful drain: stop dispatching, ask every
+                    # in-flight job to wrap up through the same
+                    # soft-cancel path as a timeout.
+                    draining = True
+                    pending.clear()
+                    delayed.clear()
+                    now = clock.monotonic()
+                    for slot in slots:
+                        if slot.token is not None and slot.cancelled_at is None:
+                            slot.cancel.set()
+                            slot.cancelled_at = now
+                            emit(
+                                "job_cancel",
+                                job=jobs[slot.index].label,
+                                attempt=slot.attempt,
+                                reason="drain",
+                                grace=self.grace,
+                            )
+
+                if delayed:
+                    # Promote retries whose backoff has elapsed.
+                    now = clock.monotonic()
+                    due = sorted(d for d in delayed if d[0] <= now)
+                    if due:
+                        delayed = [d for d in delayed if d[0] > now]
+                        pending.extend((i, a) for _, i, a in due)
+
                 for slot in list(slots):
-                    if slot.token is None and pending:
+                    while slot.token is None and pending:
                         index, attempt = pending.popleft()
+                        key = key_for(index)
+                        if self.breaker is not None and not self.breaker.allow(
+                            key
+                        ):
+                            # The breaker tripped while this job (or its
+                            # retry) sat in the queue; quarantine it
+                            # without burning a worker.
+                            emit(
+                                "breaker_open",
+                                job=jobs[index].label,
+                                key=key,
+                                reason="open",
+                                transition="open",
+                                cooldown=self.breaker.cooldown,
+                            )
+                            finalize(
+                                index,
+                                JobResult(
+                                    jobs[index],
+                                    JobStatus.QUARANTINED,
+                                    error=(
+                                        "circuit breaker open for this spec "
+                                        "fingerprint"
+                                    ),
+                                    attempts=max(0, attempt - 1),
+                                ),
+                            )
+                            continue
                         slot.token = next(tokens)
                         slot.index = index
                         slot.attempt = attempt
@@ -328,8 +512,18 @@ class ParallelRunner:
                             slot.token = None
                             self._retire(slot)
                             slots[slots.index(slot)] = self._spawn()
+                        break
 
                 busy = [s for s in slots if s.token is not None]
+                if not busy:
+                    if delayed:
+                        # Nothing in flight; sleep until the next retry
+                        # is due (bounded by the usual tick).
+                        next_due = min(d[0] for d in delayed)
+                        time.sleep(
+                            max(0.0, min(_TICK, next_due - clock.monotonic()))
+                        )
+                    continue
                 for conn in _connection_wait(
                     [s.conn for s in busy], timeout=_TICK
                 ):
@@ -353,6 +547,11 @@ class ParallelRunner:
                     if token != slot.token:  # pragma: no cover - stale echo
                         continue
                     record_job(slot, result.status)
+                    if self.breaker is not None:
+                        # Any delivered result -- even an in-job error --
+                        # means the worker survived; only crashes and
+                        # hangs count against the breaker.
+                        self.breaker.record_success(key_for(slot.index))
                     result.attempts = slot.attempt
                     if result.partial:
                         # Terminal, whether the budget was the job's own
@@ -368,46 +567,53 @@ class ParallelRunner:
                     slot.token = None
                     slot.cancelled_at = None
 
-                if self.timeout is not None:
-                    now = clock.monotonic()
-                    for slot in list(slots):
-                        if slot.token is None:
-                            continue
-                        if (
-                            slot.cancelled_at is None
-                            and now - slot.started > self.timeout
-                        ):
-                            # Stage one: ask nicely.  The worker's guard
-                            # polls the cancel flag and, if the job
-                            # cooperates, sends back a partial result
-                            # within the grace window.
-                            slot.cancel.set()
-                            slot.cancelled_at = now
-                            emit(
-                                "job_cancel",
-                                job=jobs[slot.index].label,
-                                attempt=slot.attempt,
-                                timeout=self.timeout,
-                                grace=self.grace,
-                            )
-                        elif (
-                            slot.cancelled_at is not None
-                            and now - slot.cancelled_at > self.grace
-                        ):
-                            # Stage two: the job ignored the soft-cancel
-                            # (hung in native code, spinning in react());
-                            # SIGKILL the worker and retry or report.
-                            emit(
-                                "job_timeout",
-                                job=jobs[slot.index].label,
-                                attempt=slot.attempt,
-                                timeout=self.timeout,
-                            )
-                            fail_or_retry(
-                                slot,
-                                JobStatus.TIMEOUT,
-                                f"exceeded {self.timeout:g}s wall-clock budget",
-                            )
+                now = clock.monotonic()
+                for slot in list(slots):
+                    if slot.token is None:
+                        continue
+                    if (
+                        self.timeout is not None
+                        and slot.cancelled_at is None
+                        and now - slot.started > self.timeout
+                    ):
+                        # Stage one: ask nicely.  The worker's guard
+                        # polls the cancel flag and, if the job
+                        # cooperates, sends back a partial result
+                        # within the grace window.
+                        slot.cancel.set()
+                        slot.cancelled_at = now
+                        emit(
+                            "job_cancel",
+                            job=jobs[slot.index].label,
+                            attempt=slot.attempt,
+                            timeout=self.timeout,
+                            grace=self.grace,
+                        )
+                    elif (
+                        slot.cancelled_at is not None
+                        and now - slot.cancelled_at > self.grace
+                    ):
+                        # Stage two: the job ignored the soft-cancel
+                        # (hung in native code, spinning in react());
+                        # SIGKILL the worker and retry or report.  The
+                        # same window bounds a drain, which is how the
+                        # drain deadline stays `grace` even for jobs
+                        # with no per-job timeout.
+                        emit(
+                            "job_timeout",
+                            job=jobs[slot.index].label,
+                            attempt=slot.attempt,
+                            timeout=self.timeout,
+                        )
+                        fail_or_retry(
+                            slot,
+                            JobStatus.TIMEOUT,
+                            (
+                                f"exceeded {self.timeout:g}s wall-clock budget"
+                                if self.timeout is not None
+                                else "ignored the drain soft-cancel"
+                            ),
+                        )
         finally:
             for slot in slots:
                 try:
@@ -417,6 +623,10 @@ class ParallelRunner:
                 slot.proc.join(0.5)
                 self._retire(slot)
 
+        if draining:
+            raise BatchCancelled(
+                finished=sum(1 for r in results if r is not None)
+            )
         assert all(r is not None for r in results)
         return [r for r in results if r is not None]
 
@@ -427,18 +637,28 @@ def make_runner(
     timeout: float | None = None,
     retries: int = 1,
     grace: float | None = None,
+    backoff: BackoffPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> SerialRunner | ParallelRunner:
     """The right runner for the requested parallelism.
 
     One worker and no timeout stays in-process (serial fallback); more
     workers -- or any timeout, which needs process isolation to be
     enforceable -- builds a :class:`ParallelRunner`.  ``grace`` is the
-    soft-cancel window granted to timed-out workers (parallel only).
+    soft-cancel window granted to timed-out workers, ``backoff`` /
+    ``breaker`` the retry-supervision policies (all parallel only:
+    crashes and hangs cannot survive without process isolation, so the
+    serial runner has nothing to back off from or quarantine).
     """
     if workers <= 1 and timeout is None:
         return SerialRunner(retries=retries)
-    if grace is None:
-        return ParallelRunner(workers=workers, timeout=timeout, retries=retries)
-    return ParallelRunner(
-        workers=workers, timeout=timeout, retries=retries, grace=grace
-    )
+    kwargs: dict[str, Any] = {
+        "workers": workers,
+        "timeout": timeout,
+        "retries": retries,
+        "backoff": backoff,
+        "breaker": breaker,
+    }
+    if grace is not None:
+        kwargs["grace"] = grace
+    return ParallelRunner(**kwargs)

@@ -13,6 +13,15 @@ live over SSE, replayable from a byte offset; the content-addressed
 result cache doubles as a shared artifact store, so popular protocols
 are verified once and answered from cache forever.
 
+Since PR 9 the service is also resilient under operational failure:
+admission control bounds the queues (429 + ``Retry-After`` under
+overload, honoured by the client), request parsing is read-timeout
+bounded (408 for slowloris clients), campaigns run with supervised
+retries (exponential backoff, deterministic jitter) behind a shared
+circuit breaker, and ``SIGTERM`` drains gracefully -- in-flight
+campaigns checkpoint to resumable journals and a restarted server
+finishes them (``docs/ROBUSTNESS.md`` has the full fault matrix).
+
 Quickstart::
 
     from repro.engine import ResultCache
@@ -42,11 +51,14 @@ from .model import (
     campaign_id,
     report_to_dict,
 )
+from .resilience import AdmissionError, AdmissionPolicy
 from .scheduler import Scheduler, TenantBudgets, TenantCap
 from .store import CampaignStore
 
 __all__ = [
     "PRIORITIES",
+    "AdmissionError",
+    "AdmissionPolicy",
     "Campaign",
     "CampaignRequest",
     "CampaignState",

@@ -13,7 +13,15 @@ Routes::
     GET  /campaigns/{id}/events    live SSE journal stream (?offset=N)
     GET  /cache/{fingerprint}      result-cache entries for one spec
     GET  /metrics                  Prometheus text exposition
-    GET  /healthz                  liveness probe
+    GET  /healthz                  readiness probe (503 while draining)
+
+Resilience: submissions pass admission control (429 + ``Retry-After``
+under overload, 503 while draining), request parsing is bounded by a
+read timeout (408 for slowloris clients), campaigns run under the
+engine's supervised retries with backoff and the shared circuit
+breaker, and ``SIGTERM``/``SIGINT`` trigger a graceful drain that
+checkpoints in-flight campaigns for resumption on restart (see
+``docs/SERVICE.md``).
 
 Campaigns are journaled through the engine's own
 :class:`~repro.engine.journal.RunJournal`, so ``--resume`` semantics
@@ -27,13 +35,23 @@ from the journal and the result cache (see
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import re
+import signal
 import threading
 from pathlib import Path
 from typing import Any
 
-from ..engine import ENGINE_VERSION, ResultCache, RunJournal, run_batch
+from ..engine import (
+    ENGINE_VERSION,
+    BackoffPolicy,
+    BatchCancelled,
+    CircuitBreaker,
+    ResultCache,
+    RunJournal,
+    run_batch,
+)
 from ..obs import Collector, clock, to_prometheus
 from .http import (
     HttpError,
@@ -46,6 +64,7 @@ from .http import (
     text_response,
 )
 from .model import Campaign, CampaignRequest, CampaignState, report_to_dict
+from .resilience import AdmissionError, AdmissionPolicy
 from .scheduler import Scheduler, TenantBudgets, TenantCap
 from .store import CampaignStore
 
@@ -72,21 +91,47 @@ class ServeApp:
         tenants: dict[str, float] | None = None,
         preflight: str | None = None,
         collector: Collector | None = None,
+        admission: AdmissionPolicy | None = None,
+        read_timeout: float | None = 10.0,
+        drain_grace: float = 5.0,
+        backoff: BackoffPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.store = CampaignStore(state_dir)
         self.cache = cache
         self.job_workers = job_workers
         self.preflight = preflight
         self.collector = collector if collector is not None else Collector("serve")
+        #: Per-connection bound on parsing one request (slowloris guard).
+        self.read_timeout = read_timeout
+        #: Seconds a drained job gets to honour its soft-cancel before
+        #: SIGKILL (forwarded to ``run_batch(grace=...)`` during drain).
+        self.drain_grace = drain_grace
+        #: Retry policy shared by every campaign this server runs.
+        self.backoff = backoff
+        #: Circuit breaker shared across campaigns: a spec that keeps
+        #: killing workers is quarantined service-wide, not per-run.
+        self.breaker = breaker
         self.scheduler = Scheduler(
-            self._execute, workers=workers, budgets=TenantBudgets(tenants)
+            self._execute,
+            workers=workers,
+            budgets=TenantBudgets(tenants),
+            admission=admission,
         )
         self.campaigns: dict[str, Campaign] = {}
+        #: Set while the server checkpoints and exits: new submissions
+        #: get 503, /healthz reports ``draining``.
+        self.draining = False
+        #: Engine-level drain flag, observed by every in-flight
+        #: ``run_batch`` (duck-typed CancelFlag: the runners only call
+        #: ``is_set()``).
+        self._cancel = threading.Event()
         # Touch the serve instruments so /metrics always exposes them,
         # even before the first request or submission lands.
         self.collector.count("serve.requests", 0)
         self.collector.count("serve.campaigns", 0)
         self.collector.count("serve.cache.served", 0)
+        self.collector.count("serve.admission.rejected", 0)
         self.collector.gauge("serve.queue.depth", 0)
         self.collector.gauge("serve.sse.clients", 0)
         self._sse_clients = 0
@@ -106,16 +151,72 @@ class ServeApp:
         await server.wait_closed()
         await self.scheduler.stop()
 
+    async def drain(self) -> None:
+        """Gracefully wind the service down; returns when it is safe to exit.
+
+        Admission stops first (new submissions 503), then every
+        in-flight campaign is soft-cancelled through the engine's
+        cancel flag: delivered results are already journaled, cut
+        campaigns come back as :class:`~repro.engine.BatchCancelled`
+        and are checkpointed queued -- no report file, journal intact
+        -- so a restarted server requeues and resumes them.  Queued
+        campaigns never start.  Idempotent.
+        """
+        if self.draining:
+            return
+        began = clock.monotonic()
+        self.draining = True
+        self._cancel.set()
+        await self.scheduler.drain()
+        self.collector.observe(
+            "serve.drain.duration", clock.monotonic() - began
+        )
+
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 8642) -> None:
-        """Blocking entry point used by ``repro serve``."""
+        """Blocking entry point used by ``repro serve``.
+
+        ``SIGTERM``/``SIGINT`` trigger a graceful drain: admission
+        stops, in-flight campaigns checkpoint, and the call returns
+        normally (exit 0) with every journal resumable.
+        """
         server = await self.start(host, port)
         bound = server.sockets[0].getsockname()
         print(f"repro serve: listening on http://{bound[0]}:{bound[1]}")
+        loop = asyncio.get_running_loop()
+        stopping: asyncio.Future[int] = loop.create_future()
+
+        def _request_stop(signum: int) -> None:
+            if not stopping.done():
+                stopping.set_result(signum)
+
+        hooked: list[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _request_stop, signum)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
         try:
             async with server:
-                await server.serve_forever()
+                serving = asyncio.ensure_future(server.serve_forever())
+                done, _ = await asyncio.wait(
+                    {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if stopping in done:
+                    name = signal.Signals(stopping.result()).name
+                    print(f"repro serve: {name} received, draining...")
+                    server.close()
+                    await server.wait_closed()
+                    await self.drain()
+                    print("repro serve: drained, exiting")
+                serving.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await serving
         finally:
-            await self.scheduler.stop()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+            if not self.draining:
+                await self.scheduler.stop()
 
     async def recover(self) -> None:
         """Reload persisted campaigns; requeue the unfinished ones.
@@ -156,7 +257,16 @@ class ServeApp:
                     journal=journal,
                     preflight=self.preflight or campaign.request.preflight,
                     resume=resume_events,
+                    backoff=self.backoff,
+                    breaker=self.breaker,
+                    cancel=self._cancel,
+                    grace=self.drain_grace,
                 )
+        except BatchCancelled:
+            # Graceful drain: deliberately *no* report file and no
+            # state change here -- the store dir keeps its journal and
+            # stays resumable; the scheduler requeues the campaign.
+            raise
         except Exception as exc:
             # Make the failure terminal across restarts too: a broken
             # campaign must not be requeued (and re-broken) forever.
@@ -185,7 +295,7 @@ class ServeApp:
         began = clock.monotonic()
         try:
             try:
-                request = await read_request(reader)
+                request = await read_request(reader, timeout=self.read_timeout)
             except HttpError as exc:
                 request = None
                 writer.write(
@@ -255,13 +365,18 @@ class ServeApp:
                 return text_response(to_prometheus(self.collector))
             if request.path == "/healthz":
                 self._require_get(request)
+                # A draining server is alive but no longer ready: 503
+                # tells load balancers to stop routing new work while
+                # in-flight campaigns checkpoint.
                 return json_response(
                     {
-                        "ok": True,
+                        "ok": not self.draining,
+                        "state": "draining" if self.draining else "ready",
                         "campaigns": len(self.campaigns),
                         "queue_depth": self.scheduler.queue_depth(),
                         "tenants": self.scheduler.budgets.to_dict(),
-                    }
+                    },
+                    status=503 if self.draining else 200,
                 )
             raise HttpError(404, f"no route for {request.path}")
         except HttpError as exc:
@@ -282,6 +397,12 @@ class ServeApp:
     # Handlers
     # ------------------------------------------------------------------
     async def _post_campaign(self, request: Request) -> Response:
+        if self.draining:
+            return json_response(
+                {"error": "server is draining; resubmit after restart"},
+                status=503,
+                headers={"Retry-After": "1"},
+            )
         try:
             campaign_request = CampaignRequest.from_dict(request.json())
             # Resolve early so unknown protocols and broken inline
@@ -289,6 +410,17 @@ class ServeApp:
             campaign_request.validate()
         except ValueError as exc:
             raise HttpError(400, str(exc))
+        try:
+            # Backpressure check runs *before* the store persists
+            # anything: a rejected submission leaves no state behind.
+            self.scheduler.check_admission(campaign_request.priority)
+        except AdmissionError as exc:
+            self.collector.count("serve.admission.rejected")
+            return json_response(
+                {"error": exc.message},
+                status=exc.status,
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
         campaign = self.store.create(campaign_request)
         self.campaigns[campaign.id] = campaign
         await self.scheduler.submit(campaign)
@@ -414,6 +546,18 @@ class ServerThread:
         if not self.base_url:
             raise RuntimeError("server thread failed to bind")
         return self
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Drain the app from the calling thread (chaos tests).
+
+        Same semantics as the signal path in ``serve_forever``:
+        admission stops, in-flight campaigns checkpoint, queued ones
+        stay persisted for the next start.
+        """
+        assert self._loop is not None, "server thread not started"
+        asyncio.run_coroutine_threadsafe(
+            self.app.drain(), self._loop
+        ).result(timeout=timeout)
 
     def __exit__(self, *exc_info: object) -> None:
         if self._loop is not None and self._stop is not None:

@@ -10,7 +10,10 @@ from the last seen id replays the remainder byte-identically (see
 Service-level problems (non-2xx answers) raise :class:`ServiceError`,
 a ``ValueError`` subclass so the CLI's uniform error handling maps
 them to exit status 2; network-level problems raise ``OSError``
-subclasses, which map the same way.
+subclasses, which map the same way.  Backpressure answers (429
+overload, 503 draining) carry a ``Retry-After`` hint, which
+:func:`submit` and :func:`watch` honour with capped retries before
+giving up.
 """
 
 from __future__ import annotations
@@ -25,11 +28,28 @@ __all__ = ["ServiceError", "SseEvent", "submit", "get_json", "watch"]
 
 
 class ServiceError(ValueError):
-    """A non-2xx answer from the campaign service."""
+    """A non-2xx answer from the campaign service.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` hint (seconds)
+    on backpressure answers; ``None`` when the server sent none.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(f"service answered {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
+
+
+def _retry_after(response: http.client.HTTPResponse) -> float | None:
+    raw = response.getheader("Retry-After")
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return None
 
 
 class SseEvent:
@@ -88,17 +108,42 @@ def _request(
                 message = json.loads(text).get("error", text)
             except ValueError:
                 pass
-            raise ServiceError(response.status, str(message).strip())
+            raise ServiceError(
+                response.status,
+                str(message).strip(),
+                retry_after=_retry_after(response),
+            )
         return json.loads(text) if text else None
     finally:
         conn.close()
 
 
 def submit(
-    base_url: str, payload: dict[str, Any], *, timeout: float | None = 60.0
+    base_url: str,
+    payload: dict[str, Any],
+    *,
+    timeout: float | None = 60.0,
+    max_retries: int = 5,
+    max_backpressure_wait: float = 30.0,
 ) -> dict[str, Any]:
-    """``POST /campaigns``; returns the acceptance record (id, links)."""
-    return _request(base_url, "POST", "/campaigns", payload, timeout=timeout)
+    """``POST /campaigns``; returns the acceptance record (id, links).
+
+    Backpressure answers (429 overload, 503 draining) are retried up
+    to ``max_retries`` times, waiting out each ``Retry-After`` hint
+    (clamped to ``max_backpressure_wait``); anything else -- and the
+    final backpressure answer -- raises :class:`ServiceError`.
+    """
+    attempts = 0
+    while True:
+        try:
+            return _request(
+                base_url, "POST", "/campaigns", payload, timeout=timeout
+            )
+        except ServiceError as exc:
+            if exc.status not in (429, 503) or attempts >= max_retries:
+                raise
+            attempts += 1
+            time.sleep(min(exc.retry_after or 1.0, max_backpressure_wait))
 
 
 def get_json(
@@ -168,15 +213,24 @@ def watch(
     """Follow a campaign's event stream to the end; return its record.
 
     Feeds every journal event to ``on_event`` (as :class:`SseEvent`)
-    and reconnects from the last seen offset if the stream drops.
-    Returns the final ``GET /campaigns/{id}`` document, whose
-    ``exit_code`` is the campaign's uniform 0/1/2 status.
+    and reconnects from the last seen offset if the stream drops --
+    or if the server answers with backpressure (429/503), in which
+    case the ``Retry-After`` hint is waited out first.  Returns the
+    final ``GET /campaigns/{id}`` document, whose ``exit_code`` is the
+    campaign's uniform 0/1/2 status.
     """
     reconnects = 0
     while True:
-        offset, ended = _read_stream(
-            base_url, campaign, offset, on_event, timeout
-        )
+        delay = reconnect_delay
+        try:
+            offset, ended = _read_stream(
+                base_url, campaign, offset, on_event, timeout
+            )
+        except ServiceError as exc:
+            if exc.status not in (429, 503):
+                raise
+            ended = False
+            delay = max(exc.retry_after or delay, delay)
         if ended:
             return get_json(base_url, f"/campaigns/{campaign}")
         reconnects += 1
@@ -184,4 +238,4 @@ def watch(
             raise ServiceError(
                 504, f"stream for {campaign} kept dropping; gave up"
             )
-        time.sleep(reconnect_delay)
+        time.sleep(delay)

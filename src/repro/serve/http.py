@@ -12,6 +12,7 @@ route (SSE) holds its connection open by construction.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Any
@@ -34,8 +35,11 @@ REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Request bodies larger than this are refused (413).
@@ -89,6 +93,8 @@ class Response:
     status: int = 200
     body: bytes = b""
     content_type: str = "application/json"
+    #: Extra response headers (``Retry-After`` on 429/503 answers).
+    headers: dict[str, str] = field(default_factory=dict)
 
     def encode(self) -> bytes:
         reason = REASONS.get(self.status, "Unknown")
@@ -96,16 +102,24 @@ class Response:
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
-            f"Connection: close\r\n"
-            "\r\n"
         )
+        for name, value in self.headers.items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
         return head.encode("ascii") + self.body
 
 
-def json_response(payload: Any, *, status: int = 200) -> Response:
+def json_response(
+    payload: Any, *, status: int = 200, headers: dict[str, str] | None = None
+) -> Response:
     """A deterministic (sorted-keys) JSON response."""
     body = (json.dumps(payload, indent=1, sort_keys=True) + "\n").encode("utf-8")
-    return Response(status=status, body=body, content_type="application/json")
+    return Response(
+        status=status,
+        body=body,
+        content_type="application/json",
+        headers=dict(headers or {}),
+    )
 
 
 def text_response(text: str, *, status: int = 200) -> Response:
@@ -118,12 +132,24 @@ def text_response(text: str, *, status: int = 200) -> Response:
 
 
 # ----------------------------------------------------------------------
-async def read_request(reader) -> Request | None:
+async def read_request(reader, *, timeout: float | None = None) -> Request | None:
     """Parse one request off the stream; ``None`` on a closed socket.
 
     Raises :class:`HttpError` for malformed or oversized requests; the
-    caller renders it as the matching status and closes.
+    caller renders it as the matching status and closes.  ``timeout``
+    bounds the *whole* parse (request line through body): a client
+    trickling bytes to pin a connection open -- slowloris -- gets a
+    408 when it expires, instead of holding the server forever.
     """
+    if timeout is None:
+        return await _read_request(reader)
+    try:
+        return await asyncio.wait_for(_read_request(reader), timeout)
+    except asyncio.TimeoutError:
+        raise HttpError(408, f"request not received within {timeout:g}s")
+
+
+async def _read_request(reader) -> Request | None:
     try:
         line = await reader.readline()
     except (ConnectionError, OSError):

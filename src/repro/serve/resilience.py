@@ -1,0 +1,101 @@
+"""Admission control for the campaign service.
+
+The scheduler's priority lanes were unbounded through PR 8: any burst
+of submissions was accepted, queued and eventually run, which under
+sustained overload turns into unbounded memory growth and unbounded
+latency -- the failure mode that takes a service down *after* the
+burst has passed.  :class:`AdmissionPolicy` bounds both dimensions:
+
+* ``max_lane_depth`` -- campaigns waiting per priority lane.  Bounding
+  per lane (not globally) keeps the priority contract intact: a flood
+  of ``low`` submissions can never crowd out ``high`` admissions.
+* ``max_in_flight`` -- campaigns executing across the worker pool.
+  With lanes empty but every worker saturated by long campaigns, new
+  work would still wait unboundedly; the in-flight cap (checked
+  together with queue depth) closes that gap.
+
+A refused submission raises :class:`AdmissionError`, which the HTTP
+layer renders as ``429 Too Many Requests`` with a ``Retry-After``
+hint; the stdlib client honours it with capped retries.  Crucially the
+check runs *before* the campaign is persisted to the store -- a
+rejected submission leaves no state behind, so restart recovery never
+resurrects work the service already refused.
+
+Graceful drain (``SIGTERM``/``SIGINT`` on ``repro serve``) is the
+other admission gate: a draining server answers new submissions with
+``503 Service Unavailable`` + ``Retry-After`` while it checkpoints
+in-flight campaigns (see :meth:`repro.serve.app.ServeApp.drain`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionError", "AdmissionPolicy"]
+
+
+class AdmissionError(Exception):
+    """A submission the service refuses to take right now.
+
+    ``status`` is the HTTP rendering (429 overload, 503 draining);
+    ``retry_after`` the seconds the client should wait before trying
+    again.
+    """
+
+    def __init__(
+        self, message: str, *, status: int = 429, retry_after: float = 1.0
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.status = status
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure bounds for campaign submissions.
+
+    ``None`` for either bound disables that check; the default policy
+    is deliberately permissive -- bounded, but far above anything a
+    healthy deployment queues -- so enabling admission control never
+    changes behaviour until the service is actually drowning.
+    """
+
+    max_lane_depth: int | None = 64
+    max_in_flight: int | None = None
+    retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_lane_depth is not None and self.max_lane_depth < 1:
+            raise ValueError(
+                f"max_lane_depth must be >= 1, got {self.max_lane_depth}"
+            )
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.retry_after <= 0:
+            raise ValueError(
+                f"retry_after must be > 0, got {self.retry_after}"
+            )
+
+    def admit(self, *, lane: str, lane_depth: int, in_flight: int) -> None:
+        """Raise :class:`AdmissionError` if this submission must wait."""
+        if (
+            self.max_lane_depth is not None
+            and lane_depth >= self.max_lane_depth
+        ):
+            raise AdmissionError(
+                f"{lane} lane is full ({lane_depth} campaigns queued); "
+                "try again later",
+                retry_after=self.retry_after,
+            )
+        if (
+            self.max_in_flight is not None
+            and in_flight >= self.max_in_flight
+        ):
+            raise AdmissionError(
+                f"server is at its in-flight limit ({in_flight} campaigns "
+                "executing); try again later",
+                retry_after=self.retry_after,
+            )

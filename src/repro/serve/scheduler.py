@@ -24,8 +24,10 @@ import asyncio
 from collections import deque
 from typing import Any, Callable
 
+from ..engine import BatchCancelled
 from ..obs import clock
 from .model import PRIORITIES, Campaign, CampaignState
+from .resilience import AdmissionPolicy
 
 __all__ = ["TenantCap", "TenantBudgets", "Scheduler"]
 
@@ -117,16 +119,22 @@ class Scheduler:
         *,
         workers: int = 2,
         budgets: TenantBudgets | None = None,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.execute = execute
         self.workers = workers
         self.budgets = budgets if budgets is not None else TenantBudgets()
+        #: Backpressure bounds checked by :meth:`check_admission`
+        #: (``None`` admits everything, the pre-PR-9 behaviour).
+        self.admission = admission
         self.lanes: dict[str, deque[Campaign]] = {
             lane: deque() for lane in PRIORITIES
         }
         self.executed: list[str] = []  # campaign ids, completion order
+        #: Campaigns currently executing on the worker pool.
+        self.in_flight = 0
         self._wakeup: asyncio.Condition | None = None
         self._tasks: list[asyncio.Task[None]] = []
         self._stopping = False
@@ -152,10 +160,42 @@ class Scheduler:
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
 
+    async def drain(self) -> None:
+        """Graceful variant of :meth:`stop`: no task cancellation.
+
+        Workers stop taking queued campaigns (those stay on their
+        lanes -- persisted, they resume on restart) and the call
+        returns once every in-flight campaign has come back, which the
+        caller arranges by setting the engine-level cancel flag first
+        (see :meth:`repro.serve.app.ServeApp.drain`).
+        """
+        self._stopping = True
+        if self._wakeup is not None:
+            async with self._wakeup:
+                self._wakeup.notify_all()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
     # ------------------------------------------------------------------
     def queue_depth(self) -> int:
         """Campaigns waiting in all lanes (excluding running ones)."""
         return sum(len(lane) for lane in self.lanes.values())
+
+    def check_admission(self, priority: str) -> None:
+        """Backpressure gate for *new* submissions.
+
+        Raises :class:`~repro.serve.resilience.AdmissionError` when the
+        target lane or the worker pool is saturated.  Only the HTTP
+        submission path calls this -- :meth:`submit` itself stays
+        unbounded so restart recovery can always requeue persisted
+        campaigns, however full the lanes are.
+        """
+        if self.admission is not None:
+            self.admission.admit(
+                lane=priority,
+                lane_depth=len(self.lanes[priority]),
+                in_flight=self.in_flight,
+            )
 
     async def submit(self, campaign: Campaign) -> None:
         """Enqueue a campaign on its priority lane."""
@@ -175,7 +215,10 @@ class Scheduler:
         assert self._wakeup is not None
         while True:
             async with self._wakeup:
-                campaign = self._take()
+                # A stopping/draining pool takes nothing new: queued
+                # campaigns stay on their lanes (persisted campaigns
+                # resume after a restart).
+                campaign = None if self._stopping else self._take()
                 while campaign is None and not self._stopping:
                     await self._wakeup.wait()
                     campaign = self._take()
@@ -188,16 +231,25 @@ class Scheduler:
         campaign.started = clock.wall()
         cap = self.budgets.cap(campaign.request.tenant)
         began = clock.monotonic()
+        self.in_flight += 1
         try:
             await asyncio.to_thread(self.execute, campaign, cap)
             campaign.state = CampaignState.DONE
+        except BatchCancelled:
+            # Graceful drain cut the campaign short.  Not a failure:
+            # its journal is resumable and its store dir has no report,
+            # so a restarted server requeues and finishes it.
+            campaign.state = CampaignState.QUEUED
+            campaign.started = None
         except Exception as exc:  # noqa: BLE001 - worker isolation
             campaign.state = CampaignState.FAILED
             campaign.error = f"{type(exc).__name__}: {exc}"
             campaign.exit_code = 2
         finally:
+            self.in_flight -= 1
             self.budgets.charge(
                 campaign.request.tenant, clock.monotonic() - began
             )
-            campaign.finished = clock.wall()
+            if campaign.state != CampaignState.QUEUED:
+                campaign.finished = clock.wall()
             self.executed.append(campaign.id)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -118,7 +119,12 @@ class CampaignStore:
             try:
                 meta = json.loads(meta_path.read_text(encoding="utf-8"))
                 request = CampaignRequest.from_dict(meta["request"])
-            except (OSError, ValueError, KeyError, TypeError):
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                warnings.warn(
+                    f"campaign store: skipping damaged campaign "
+                    f"{entry.name} ({type(exc).__name__}: {exc})",
+                    RuntimeWarning,
+                )
                 continue
             campaign = Campaign(
                 id=meta.get("id", entry.name),

@@ -14,11 +14,18 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.cli import EXIT_INTERRUPTED, main
 from repro.engine import (
+    BackoffPolicy,
+    BatchCancelled,
+    BreakerState,
+    CircuitBreaker,
     JobStatus,
     ParallelRunner,
     ResultCache,
@@ -32,6 +39,7 @@ from repro.engine.faults import (
     FaultPlan,
     FaultedSpec,
     KillSwitchJournal,
+    choke_journal,
     corrupt_cache_entry,
     inject,
     tear_journal,
@@ -248,6 +256,300 @@ class TestKillAndResume:
         status = main(["batch", "--protocols", "msi", "--no-cache"])
         assert status == EXIT_INTERRUPTED == 130
         assert "--resume" in capsys.readouterr().err
+
+    def test_cli_exits_143_on_sigterm(self, monkeypatch, capsys):
+        # An orchestrator's SIGTERM takes the same journaled-abort path
+        # as Ctrl-C but reports 128 + 15.  The CLI installs the
+        # trampoline before run_batch, so delivering the signal from
+        # inside it is exactly the mid-batch kill.
+        import repro.engine
+
+        def killed(*args, **kwargs):
+            os.kill(os.getpid(), signal.SIGTERM)
+            raise AssertionError("SIGTERM was not delivered synchronously")
+
+        monkeypatch.setattr(repro.engine, "run_batch", killed)
+        status = main(["batch", "--protocols", "msi", "--no-cache"])
+        assert status == 143
+        err = capsys.readouterr().err
+        assert "SIGTERM" in err and "--resume" in err
+        # The trampoline must not leak past the subcommand.
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+
+# ----------------------------------------------------------------------
+class TestBackoff:
+    def test_delays_are_deterministic_and_jittered(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=1.0, seed=42)
+        delays = [policy.delay("key", n) for n in range(2, 12)]
+        assert delays == [policy.delay("key", n) for n in range(2, 12)]
+        assert all(0 < d <= 1.5 for d in delays)  # max_delay * (1+jitter)
+        # Distinct keys desynchronize; distinct seeds reshuffle.
+        assert policy.delay("other", 2) != policy.delay("key", 2)
+        reseeded = BackoffPolicy(base=0.1, factor=2.0, max_delay=1.0, seed=7)
+        assert reseeded.delay("key", 2) != policy.delay("key", 2)
+
+    def test_growth_is_exponential_without_jitter(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, jitter=0.0)
+        assert policy.delay("k", 2) == pytest.approx(0.1)
+        assert policy.delay("k", 3) == pytest.approx(0.2)
+        assert policy.delay("k", 4) == pytest.approx(0.4)
+        assert policy.delay("k", 60) == pytest.approx(30.0)  # capped
+
+    def test_zero_base_means_immediate_retries(self):
+        assert BackoffPolicy(base=0.0).delay("k", 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=-0.1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=2.0)
+
+    def test_transient_crash_is_absorbed_with_backoff(self, tmp_path):
+        # A once-only crash (transient infrastructure failure): the
+        # supervised retry waits out the backoff delay, the journal
+        # records it, and the verdict is unchanged.
+        jobs = inject(
+            _jobs("msi"),
+            FaultPlan({0: Fault("crash", once=True)}),
+            marker_dir=tmp_path / "markers",
+        )
+        journal = RunJournal()
+        report = run_batch(
+            jobs,
+            journal=journal,
+            workers=1,
+            timeout=30.0,
+            retries=1,
+            backoff=BackoffPolicy(base=0.05, jitter=0.0),
+        )
+        result = report.results[0]
+        assert result.status == JobStatus.VERIFIED
+        assert result.attempts == 2
+        [retry] = journal.of("job_retry")
+        assert retry["delay"] == pytest.approx(0.05)
+
+
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_state_machine_with_injected_clock(self):
+        t = [0.0]
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, now=lambda: t[0])
+        assert breaker.allow("fp")
+        assert breaker.record_failure("fp") is None
+        assert breaker.record_failure("fp") == "opened"
+        assert breaker.state("fp") == BreakerState.OPEN
+        assert not breaker.allow("fp")
+        assert breaker.retry_after("fp") == pytest.approx(10.0)
+        # Cooldown expiry half-opens: exactly one probe is admitted.
+        t[0] = 10.5
+        assert breaker.state("fp") == BreakerState.HALF_OPEN
+        assert breaker.allow("fp")
+        assert not breaker.allow("fp")  # the probe slot is taken
+        assert breaker.record_failure("fp") == "reopened"
+        assert breaker.state("fp") == BreakerState.OPEN
+        # A successful probe closes and forgets the key.
+        t[0] = 21.0
+        assert breaker.allow("fp")
+        breaker.record_success("fp")
+        assert breaker.state("fp") == BreakerState.CLOSED
+        assert breaker.snapshot() == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)
+
+    def test_repeated_crashes_trip_the_breaker(self):
+        # threshold=2 with a retry budget of 5: the third attempt is
+        # never dispatched -- the breaker quarantines the job instead
+        # of burning three more worker respawns.
+        jobs = inject(_jobs("msi", "illinois"), FaultPlan({0: Fault("crash")}))
+        journal = RunJournal()
+        breaker = CircuitBreaker(threshold=2, cooldown=60.0)
+        report = run_batch(
+            jobs,
+            journal=journal,
+            workers=1,
+            timeout=30.0,
+            retries=5,
+            breaker=breaker,
+            backoff=BackoffPolicy(base=0.0),
+        )
+        quarantined, sound = report.results
+        assert quarantined.status == JobStatus.QUARANTINED
+        assert quarantined.attempts == 2
+        assert "circuit breaker" in quarantined.error
+        assert sound.status == JobStatus.VERIFIED  # isolation holds
+        [opened] = journal.of("breaker_open")
+        assert opened["transition"] == "opened"
+        assert report.quarantined == 1
+        assert report.exit_code == 2
+        assert "1 quarantined by breaker" in report.counts_line()
+        key = opened["key"]
+        assert breaker.state(key) == BreakerState.OPEN
+
+    def test_open_breaker_quarantines_at_admission(self, tmp_path):
+        # A second run sharing the breaker never dispatches the
+        # quarantined fingerprint -- and never caches the quarantine.
+        t = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=30.0, now=lambda: t[0])
+        jobs = inject(
+            _jobs("msi"),
+            FaultPlan({0: Fault("crash", once=True)}),
+            marker_dir=tmp_path / "markers",
+        )
+        cache = ResultCache(tmp_path / "cache")
+        first = run_batch(
+            jobs, cache=cache, workers=1, timeout=30.0, retries=0,
+            breaker=breaker,
+        )
+        assert first.results[0].status == JobStatus.QUARANTINED
+        journal = RunJournal()
+        again = run_batch(jobs, cache=cache, journal=journal, breaker=breaker)
+        result = again.results[0]
+        assert result.status == JobStatus.QUARANTINED
+        assert result.attempts == 0  # refused before dispatch
+        [opened] = journal.of("breaker_open")
+        assert opened["transition"] == "open"
+        assert opened["retry_after"] == pytest.approx(30.0)
+        # After the cooldown the half-open probe runs the job for real:
+        # the once-fault already detonated, so the probe succeeds and
+        # the breaker closes.
+        t[0] = 31.0
+        probe = run_batch(
+            jobs, cache=cache, workers=1, timeout=30.0, retries=0,
+            breaker=breaker,
+        )
+        assert probe.results[0].status == JobStatus.VERIFIED
+        assert breaker.state(opened["key"]) == BreakerState.CLOSED
+
+    def test_breaker_transitions_are_metered(self):
+        from repro.obs import Collector, to_prometheus, use_collector
+
+        t = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, now=lambda: t[0])
+        with use_collector(Collector("chaos")) as collector:
+            breaker.record_failure("fp")      # opened
+            t[0] = 5.5
+            breaker.state("fp")               # half-open
+            breaker.allow("fp")
+            breaker.record_failure("fp")      # reopened
+        assert collector.counters["engine.breaker.open"].value == 1
+        assert collector.counters["engine.breaker.half_open"].value == 1
+        assert collector.counters["engine.breaker.reopen"].value == 1
+        text = to_prometheus(collector)
+        assert "repro_engine_breaker_open_total 1" in text
+        assert "repro_engine_breaker_half_open_total 1" in text
+        assert "repro_engine_breaker_reopen_total 1" in text
+
+    def test_backoff_delays_are_metered(self, tmp_path):
+        from repro.obs import Collector, use_collector
+
+        jobs = inject(
+            _jobs("msi"),
+            FaultPlan({0: Fault("crash", once=True)}),
+            marker_dir=tmp_path / "markers",
+        )
+        with use_collector(Collector("chaos")) as collector:
+            run_batch(
+                jobs,
+                workers=1,
+                timeout=30.0,
+                retries=1,
+                backoff=BackoffPolicy(base=0.01, jitter=0.0),
+            )
+        histogram = collector.histograms["engine.retry.backoff"]
+        assert histogram.count == 1
+        assert histogram.total == pytest.approx(0.01)
+
+
+# ----------------------------------------------------------------------
+class _DrainSwitch(RunJournal):
+    """Sets a cancel flag after *after* ``job_finish`` events."""
+
+    def __init__(self, cancel: threading.Event, after: int) -> None:
+        super().__init__()
+        self.cancel = cancel
+        self.after = after
+
+    def emit(self, event, **fields):
+        record = super().emit(event, **fields)
+        if event == "job_finish" and self.count("job_finish") >= self.after:
+            self.cancel.set()
+        return record
+
+
+class TestGracefulDrain:
+    def test_serial_drain_keeps_finished_results(self):
+        cancel = threading.Event()
+        journal = _DrainSwitch(cancel, after=2)
+        with pytest.raises(BatchCancelled) as excinfo:
+            run_batch(_jobs(*PROTOCOLS), journal=journal, cancel=cancel)
+        assert excinfo.value.finished == 2
+        kinds = [e["event"] for e in journal.events]
+        assert kinds.count("job_finish") == 2
+        assert kinds[-1] == "run_aborted"
+        assert "run_end" not in kinds
+
+    def test_parallel_drain_soft_cancels_and_resumes(self, tmp_path):
+        # The service-shutdown round trip at engine level: drain after
+        # one finished job, then resume the journal to the same counts
+        # as an undisturbed run.
+        jobs = _jobs(*PROTOCOLS)
+        baseline = run_batch(jobs, cache=ResultCache(tmp_path / "ref"))
+        cancel = threading.Event()
+        path = tmp_path / "run.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+
+        class FileDrainSwitch(_DrainSwitch):
+            def __init__(self) -> None:
+                RunJournal.__init__(self, path)
+                self.cancel = cancel
+                self.after = 1
+
+        with pytest.raises(BatchCancelled):
+            run_batch(
+                jobs,
+                cache=cache,
+                journal=FileDrainSwitch(),
+                runner=ParallelRunner(workers=2, retries=0),
+                cancel=cancel,
+            )
+        events = RunJournal.read(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "run_aborted"
+        finished = kinds.count("job_finish")
+        assert finished >= 1
+        assert not multiprocessing.active_children()
+        # Resume completes the batch with baseline verdicts.
+        with RunJournal(path, mode="append") as journal:
+            report = run_batch(
+                jobs, cache=cache, journal=journal, resume=events
+            )
+        assert report.verified == baseline.verified == len(jobs)
+        assert report.exit_code == baseline.exit_code == 0
+        assert report.cache_hits >= finished
+
+
+# ----------------------------------------------------------------------
+class TestJournalDiskFull:
+    def test_enospc_drops_file_backing_but_keeps_the_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        choke_journal(journal, after=3)
+        with pytest.warns(RuntimeWarning, match="file backing"):
+            report = run_batch(_jobs("msi", "illinois"), journal=journal)
+        # The run finished on the in-memory stream: full event record,
+        # correct verdicts, truncated file.
+        assert report.exit_code == 0
+        assert journal.count("run_end") == 1
+        assert journal.count("job_finish") == 2
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 3
+        journal.close()
 
 
 # ----------------------------------------------------------------------

@@ -335,6 +335,7 @@ class TestServiceEndToEnd:
             )
             health = client.get_json(server.base_url, "/healthz")
             assert health["ok"] and health["campaigns"] == 2
+            assert health["state"] == "ready"
 
             # All serve.* instruments are exposed on /metrics.
             text = _get_text(server.base_url, "/metrics")
@@ -342,6 +343,7 @@ class TestServiceEndToEnd:
                 "repro_serve_requests_total",
                 "repro_serve_campaigns_total",
                 "repro_serve_cache_served_total",
+                "repro_serve_admission_rejected_total",
                 "repro_serve_queue_depth",
                 "repro_serve_sse_clients",
                 "repro_serve_request_latency_bucket",
