@@ -40,10 +40,11 @@ from .core import (
 )
 from .engine import BatchReport, ResultCache, RunJournal, VerificationJob, run_batch
 from .lint import LintError, LintReport, lint_all, lint_spec
+from .liveness import LassoWitness, LivenessReport, analyze_liveness, replay_lasso
 from .obs import Collector, render_report, use_collector
 from .protocols import all_protocols, get_protocol, protocol_names
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BatchReport",
@@ -51,8 +52,10 @@ __all__ = [
     "CompositeState",
     "DataValue",
     "ExpansionResult",
+    "LassoWitness",
     "LintError",
     "LintReport",
+    "LivenessReport",
     "Op",
     "ProtocolSpec",
     "PruningMode",
@@ -64,12 +67,14 @@ __all__ = [
     "VerificationReport",
     "__version__",
     "all_protocols",
+    "analyze_liveness",
     "explore",
     "get_protocol",
     "lint_all",
     "lint_spec",
     "protocol_names",
     "render_report",
+    "replay_lasso",
     "run_batch",
     "use_collector",
     "verify",

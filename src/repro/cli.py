@@ -57,7 +57,16 @@ from .enumeration.exhaustive import Equivalence, enumerate_space
 from .obs import EXPORT_EXTENSIONS, EXPORTERS
 from .protocols.dsl import DslError, load_protocol, parse_protocol
 from .protocols.perturb import criticality_profile
-from .protocols.mutations import MUTATIONS, get_mutant, mutants_for
+from .protocols.mutations import (
+    LIVENESS_MUTATIONS,
+    MUTATIONS,
+    get_mutant,
+    mutants_for,
+)
+
+#: --mutant accepts keys from both catalogs (safety bugs and the
+#: safety-clean starvation bugs only liveness modes reject).
+_MUTANT_CHOICES = sorted({**MUTATIONS, **LIVENESS_MUTATIONS})
 from .protocols.registry import all_protocols, protocol_names, resolve_specs
 from .simulator.system import System
 from .simulator.traceio import load_trace, save_trace
@@ -135,6 +144,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(format_table(["name", "protocol", "|Q|", "F"], rows))
     print()
     print("mutations:", ", ".join(MUTATIONS))
+    print("liveness mutations:", ", ".join(LIVENESS_MUTATIONS))
     print("workloads:", ", ".join(WORKLOADS))
     return EXIT_OK
 
@@ -168,6 +178,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             pruning=PruningMode.DUPLICATES if args.no_pruning else PruningMode.CONTAINMENT,
             validate_spec=not args.mutant,
             preflight=args.preflight or "off",
+            mode=args.mode,
         )
         if report.lint is not None and not report.lint.clean:
             for diagnostic in report.lint.diagnostics:
@@ -288,6 +299,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 grace=args.grace,
                 preflight=args.preflight,
                 backend=args.backend,
+                mode=args.mode,
                 resume=resume_events,
                 backoff=backoff,
                 breaker=breaker,
@@ -312,7 +324,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .engine import ResultCache, RunJournal
-    from .testkit import CampaignConfig, Corpus, OracleBudget, run_campaign
+    from .testkit import (
+        CampaignConfig,
+        Corpus,
+        GeneratorConfig,
+        OracleBudget,
+        run_campaign,
+    )
 
     if args.replay:
         corpus = Corpus(args.corpus)
@@ -342,6 +360,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             CampaignConfig(
                 seed=args.seed,
                 count=args.count,
+                mode=args.mode,
+                generator=GeneratorConfig(p_stall=args.p_stall),
                 budget=budget,
                 workers=args.jobs,
                 corpus_dir=None if args.no_persist else args.corpus,
@@ -416,6 +436,8 @@ def _submit_payload(args: argparse.Namespace) -> dict:
         payload["preflight"] = args.preflight
     if args.deadline is not None:
         payload["deadline"] = args.deadline
+    if args.mode != "safety":
+        payload["mode"] = args.mode
     return payload
 
 
@@ -923,7 +945,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--structural", action="store_true", help="skip context variables")
     p.add_argument("--no-pruning", action="store_true", help="duplicate-only pruning")
-    p.add_argument("--mutant", choices=sorted(MUTATIONS), help="inject a bug first")
+    p.add_argument("--mutant", choices=_MUTANT_CHOICES, help="inject a bug first")
+    p.add_argument(
+        "--mode",
+        choices=("safety", "liveness", "both"),
+        default="safety",
+        help="what to check: 'safety' (reachability, default) or "
+        "'liveness'/'both' (additionally reject starvable requests "
+        "with lasso counterexamples; see docs/LIVENESS.md)",
+    )
     p.add_argument("--trace", action="store_true", help="print the expansion steps")
     p.add_argument("--dot", metavar="FILE", help="write the diagram as DOT")
     p.add_argument("--json", metavar="FILE", help="write the full result as JSON")
@@ -1066,6 +1096,14 @@ def build_parser() -> argparse.ArgumentParser:
         "or 'kernel' (compiled kernel; identical verdicts, part of the "
         "cache key)",
     )
+    p.add_argument(
+        "--mode",
+        choices=("safety", "liveness", "both"),
+        default="safety",
+        help="what to check: 'safety' (default) or 'liveness'/'both' "
+        "(additionally run the starvation analysis; starvable specs "
+        "report NOT-LIVE and exit 1; part of the cache key)",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -1184,7 +1222,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="additionally profile a DSL specification (repeatable)",
     )
-    p.add_argument("--mutant", choices=sorted(MUTATIONS), help="inject a bug first")
+    p.add_argument("--mutant", choices=_MUTANT_CHOICES, help="inject a bug first")
     p.add_argument(
         "--mutants",
         action="store_true",
@@ -1263,7 +1301,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-l", "--length", type=int, default=10000)
     p.add_argument("--sets", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--mutant", choices=sorted(MUTATIONS))
+    p.add_argument("--mutant", choices=_MUTANT_CHOICES)
     p.add_argument("--stop-on-violation", action="store_true")
     p.add_argument("--trace-file", metavar="FILE", help="replay a saved trace")
     p.add_argument("--save-trace", metavar="FILE", help="save the trace used")
@@ -1371,6 +1409,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay",
         action="store_true",
         help="re-verify every corpus entry instead of fuzzing",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("safety", "liveness", "both"),
+        default="safety",
+        help="verification mode for the symbolic side: liveness modes "
+        "additionally hunt starvable requests in generated specs and "
+        "replay each lasso through the reaction semantics",
+    )
+    p.add_argument(
+        "--p-stall",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability of stalling rules in generated specs (0 "
+        "disables; raise it in liveness modes so the generator actually "
+        "draws starvable protocols)",
     )
 
     p = sub.add_parser(
@@ -1522,6 +1577,12 @@ def build_parser() -> argparse.ArgumentParser:
         const="reject",
         choices=("reject", "annotate"),
         help="lint every spec before dispatch",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("safety", "liveness", "both"),
+        default="safety",
+        help="verification mode for every job in the campaign",
     )
     p.add_argument(
         "--watch",

@@ -51,6 +51,12 @@ class ErrorKind(str, enum.Enum):
     READABLE_OBSOLETE = "readable-obsolete"
     #: The latest written value exists neither in memory nor in any cache.
     VALUE_LOST = "value-lost"
+    #: A pending request can be stalled forever around a cycle of global
+    #: transitions that never serves it (liveness mode).
+    STALL_CYCLE = "stall-cycle"
+    #: A pending request is stalled in a state no transition can leave:
+    #: the retry itself is the only move left (liveness mode).
+    DEADLOCK = "deadlock"
 
 
 class StatePattern(abc.ABC):

@@ -46,8 +46,11 @@ from .protocol import ProtocolSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # The guard lives in the engine layer (above core); explore() only
     # relies on its check() protocol, so no runtime import is needed
-    # and the core -> engine dependency stays a typing artifact.
+    # and the core -> engine dependency stays a typing artifact.  The
+    # liveness report likewise lives above core and is only attached
+    # here, never constructed.
     from ..engine.guard import Exhaustion, Guard
+    from ..liveness.model import LivenessReport
 
 __all__ = [
     "PruningMode",
@@ -57,6 +60,7 @@ __all__ = [
     "ExpansionResult",
     "ExpansionLimitError",
     "explore",
+    "essential_home",
 ]
 
 
@@ -150,15 +154,33 @@ class ExpansionResult:
     #: Unexplored working states at the moment the budget expired
     #: (first entry: the state whose expansion was interrupted).
     frontier: tuple[CompositeState, ...] = field(default_factory=tuple)
+    #: Liveness verdict attached by the liveness post-pass
+    #: (:func:`repro.liveness.analyze_liveness`); ``None`` when the
+    #: verification ran in safety-only mode.
+    liveness: "LivenessReport | None" = None
 
     @property
     def ok(self) -> bool:
         """True iff the protocol is *proven* correct: the expansion ran
-        to its fixpoint and no erroneous state is reachable.  A partial
+        to its fixpoint, no erroneous state is reachable, and (when the
+        liveness pass ran) no pending request can starve.  A partial
         run is never ``ok`` -- unvisited states could still be
         erroneous -- though any violations it did find are definitive.
         """
-        return not self.violations and not self.partial
+        return (
+            not self.violations
+            and not self.partial
+            and (self.liveness is None or not self.liveness.violations)
+        )
+
+    @property
+    def live(self) -> bool | None:
+        """Liveness verdict: ``True``/``False`` when the liveness pass
+        ran to a conclusion, ``None`` when it did not run (safety mode)
+        or was inconclusive (partial expansion)."""
+        if self.liveness is None or not self.liveness.checked:
+            return None
+        return not self.liveness.violations
 
     def essential_by_render(self) -> dict[str, CompositeState]:
         """Map from pretty-rendering to state, for report lookups."""
@@ -168,6 +190,11 @@ class ExpansionResult:
         """One-paragraph textual summary of the verification run."""
         if self.violations:
             verdict = f"FAILED ({len(self.violations)} violations)"
+        elif self.liveness is not None and self.liveness.violations:
+            verdict = (
+                f"NOT LIVE ({len(self.liveness.violations)} starvable "
+                "requests)"
+            )
         elif self.partial:
             reason = self.exhausted.reason if self.exhausted else "budget"
             verdict = (
@@ -416,7 +443,7 @@ def explore(
         if not stop and exhausted is None:
             for source in essential:
                 for transition in expander.successors(source):
-                    home = _essential_home(transition.target, essential, pruning)
+                    home = essential_home(transition.target, essential, pruning)
                     key = (source, str(transition.label), home)
                     if key not in edges:
                         edges[key] = SymbolicTransition(source, transition.label, home)
@@ -458,12 +485,17 @@ def explore(
     )
 
 
-def _essential_home(
+def essential_home(
     state: CompositeState,
     essential: Sequence[CompositeState],
     pruning: PruningMode,
 ) -> CompositeState:
-    """The essential state containing *state* (itself if listed)."""
+    """The essential state containing *state* (itself if listed).
+
+    Public because the liveness analysis (:mod:`repro.liveness`) uses
+    the same covering map to close its product graph over the essential
+    set.
+    """
     if pruning is PruningMode.DUPLICATES:
         for candidate in essential:
             if candidate == state:

@@ -55,6 +55,7 @@ from .symbols import CountCase, DataValue, Op, SharingLevel
 __all__ = [
     "TransitionLabel",
     "SymbolicTransition",
+    "ReactionEvent",
     "SymbolicExpander",
     "ExpansionSemanticsError",
 ]
@@ -93,6 +94,32 @@ class SymbolicTransition:
 
 #: Environment representation: the source state minus one initiator.
 _Env = tuple[tuple[Label, Rep], ...]
+
+
+@dataclass(frozen=True)
+class ReactionEvent:
+    """One fully resolved reaction of a composite state.
+
+    Where :meth:`SymbolicExpander.successors` collapses everything into
+    labelled edges, an event keeps the pieces apart -- which initiator
+    class reacted, under which observation context, with which
+    :class:`~repro.core.reactions.Outcome` -- so analyses that need the
+    *semantics* of a step (the liveness pass chief among them: who
+    stalled, how observers move) can consume the expansion without
+    re-deriving scenario splitting.  ``targets`` are the raw successor
+    states (the source state itself for a stalled outcome).
+    """
+
+    initiator: str
+    op: Op
+    ctx: Ctx
+    outcome: Outcome
+    targets: tuple[CompositeState, ...]
+
+    @property
+    def label(self) -> TransitionLabel:
+        """The global-transition label this event contributes to."""
+        return TransitionLabel(self.op, self.initiator)
 
 
 def _classify_interval(interval: Interval) -> CountCase:
@@ -173,6 +200,68 @@ class SymbolicExpander:
                         if key not in results:
                             results[key] = SymbolicTransition(state, label, succ)
         return list(results.values())
+
+    # ------------------------------------------------------------------
+    def reaction_events(self, state: CompositeState) -> list[ReactionEvent]:
+        """Every (initiator, operation, scenario) reaction of *state*.
+
+        The deterministic flat scan behind :meth:`successors`: initiator
+        classes in state order, operations in specification order,
+        scenarios in case-split order.  Stalled outcomes are included
+        (their ``targets`` is the unchanged source state), which is what
+        the liveness analysis walks to find stall cycles.
+        """
+        events: list[ReactionEvent] = []
+        for idx, (init_label, _init_rep) in enumerate(state.classes):
+            init_sym = init_label.symbol
+            for op in self.spec.operations:
+                if not self.spec.applicable(init_sym, op):
+                    continue
+                env = self._remove_initiator(state.classes, idx)
+                for cases in self._scenarios(state, init_sym, env):
+                    ctx = self._make_ctx(env, cases)
+                    outcome = self.spec.react(init_sym, op, ctx)
+                    targets = tuple(
+                        self._build_successors(
+                            state, init_label, op, env, cases, outcome
+                        )
+                    )
+                    events.append(
+                        ReactionEvent(init_sym, op, ctx, outcome, targets)
+                    )
+        return events
+
+    def observation_contexts(
+        self, state: CompositeState, initiator: str
+    ) -> list[Ctx]:
+        """Every consistent context a cache in *initiator* sees at *state*.
+
+        When *initiator* labels a class of *state* the cache is split
+        off that class exactly as :meth:`successors` does; otherwise
+        (the liveness product tracks a blocked cache whose symbol may
+        have been merged away) the whole state is taken as the
+        environment -- a sound over-approximation of what the extra
+        cache can observe.
+        """
+        contexts: list[Ctx] = []
+        seen: set[Ctx] = set()
+        class_indices = [
+            i
+            for i, (label, _rep) in enumerate(state.classes)
+            if label.symbol == initiator
+        ] or [None]
+        for idx in class_indices:
+            env = (
+                self._remove_initiator(state.classes, idx)
+                if idx is not None
+                else tuple(state.classes)
+            )
+            for cases in self._scenarios(state, initiator, env):
+                ctx = self._make_ctx(env, cases)
+                if ctx not in seen:
+                    seen.add(ctx)
+                    contexts.append(ctx)
+        return contexts
 
     # ------------------------------------------------------------------
     # Internals

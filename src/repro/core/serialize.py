@@ -114,8 +114,10 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
 
     Partial results (a guard budget expired before the fixpoint) gain
     one extra ``"partial"`` key carrying the exhaustion reason and the
-    unexplored frontier; complete results serialize exactly as before,
-    so goldens and fingerprint substrates are unaffected.
+    unexplored frontier; results of a liveness-mode verification gain a
+    ``"liveness"`` key carrying the verdict and its lasso witnesses.
+    Complete safety-mode results serialize exactly as before, so
+    goldens and fingerprint substrates are unaffected.
     """
     index = {state: i for i, state in enumerate(result.essential)}
     transitions = sorted(
@@ -157,6 +159,8 @@ def result_to_dict(result: ExpansionResult) -> dict[str, Any]:
             **(result.exhausted.to_dict() if result.exhausted is not None else {}),
             "frontier": [state_to_dict(s) for s in result.frontier],
         }
+    if result.liveness is not None:
+        payload["liveness"] = result.liveness.to_dict()
     return payload
 
 

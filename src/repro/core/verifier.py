@@ -21,6 +21,7 @@ from .protocol import ProtocolSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.guard import Guard
     from ..lint.model import LintReport
+    from ..liveness.model import LivenessReport
 
 __all__ = ["VerificationReport", "verify"]
 
@@ -36,8 +37,17 @@ class VerificationReport:
 
     @property
     def ok(self) -> bool:
-        """True iff the protocol satisfies all correctness conditions."""
+        """True iff the protocol satisfies all correctness conditions.
+
+        In liveness modes this includes deadlock freedom: a safety-clean
+        protocol with a starvable request is not ``ok``.
+        """
         return self.result.ok
+
+    @property
+    def liveness(self) -> "LivenessReport | None":
+        """Liveness verdict (``None`` for safety-only verifications)."""
+        return self.result.liveness
 
     @property
     def partial(self) -> bool:
@@ -62,8 +72,12 @@ class VerificationReport:
     def render(self, *, diagram: bool = True, max_witnesses: int = 3) -> str:
         """Full multi-line report: verdict, states, diagram, witnesses."""
         res = self.result
+        live = res.liveness
+        starved = live is not None and bool(live.violations)
         if self.ok:
             verdict = "VERIFIED -- no erroneous state is reachable"
+            if live is not None and live.checked:
+                verdict += "; every pending request is eventually served"
         elif res.partial and not res.violations:
             why = res.exhausted.describe() if res.exhausted else "budget exhausted"
             verdict = (
@@ -71,8 +85,12 @@ class VerificationReport:
                 f"explored prefix ({len(res.frontier)} frontier states "
                 "unexplored)"
             )
-        else:
+        elif res.violations:
             verdict = "FAILED -- erroneous states are reachable"
+        else:
+            verdict = (
+                "NOT LIVE -- a pending request can be stalled forever"
+            )
         lines = [
             "=" * 72,
             f"Verification of {res.spec.full_name or res.spec.name}",
@@ -83,12 +101,14 @@ class VerificationReport:
             f"Essential states: {len(res.essential)}    "
             f"state visits: {res.stats.visits}    "
             f"elapsed: {res.stats.elapsed*1000:.1f} ms",
-            "",
         ]
+        if live is not None:
+            lines.append(live.summary())
+        lines.append("")
         if diagram:
             lines.append(ascii_diagram(res))
             lines.append("")
-        if not self.ok:
+        if res.violations:
             lines.append(f"Violations ({len(res.violations)}):")
             for violation in res.violations:
                 lines.append(f"  - {violation}")
@@ -101,6 +121,21 @@ class VerificationReport:
                 lines.append(
                     f"... and {len(res.witnesses) - max_witnesses} further "
                     "counterexamples omitted."
+                )
+        if starved:
+            assert live is not None
+            lines.append(f"Starvable requests ({len(live.violations)}):")
+            for violation in live.violations:
+                lines.append(f"  - {violation}")
+            lines.append("")
+            for lasso in live.lassos[:max_witnesses]:
+                lines.append("Lasso counterexample:")
+                lines.append(lasso.render())
+                lines.append("")
+            if len(live.lassos) > max_witnesses:
+                lines.append(
+                    f"... and {len(live.lassos) - max_witnesses} further "
+                    "lassos omitted."
                 )
         return "\n".join(lines)
 
@@ -119,6 +154,7 @@ def verify(
     preflight: str = "off",
     guard: "Guard | None" = None,
     backend: str = "interp",
+    mode: str = "safety",
 ) -> VerificationReport:
     """Verify a protocol; the library's main entry point.
 
@@ -143,6 +179,16 @@ def verify(
     violations, witnesses and essential sets.  A spec the kernel
     cannot compile (no IR lowering) silently falls back to the
     interpreter; see ``docs/KERNEL.md``.
+
+    ``mode`` selects what is checked: ``"safety"`` (the default) runs
+    the paper's reachability checks only; ``"liveness"`` and ``"both"``
+    additionally run the starvation analysis (:mod:`repro.liveness`)
+    over the completed expansion and attach its verdict -- including
+    lasso-shaped counterexamples -- to ``result.liveness``.  The
+    expansion itself is identical in every mode (safety violations are
+    inherent to it), so ``"liveness"`` and ``"both"`` differ only in
+    name; both are accepted for symmetry with the batch engine.  See
+    ``docs/LIVENESS.md``.
     """
     if preflight not in ("off", "reject", "annotate"):
         raise ValueError(
@@ -152,6 +198,10 @@ def verify(
     if backend not in ("interp", "kernel"):
         raise ValueError(
             f"backend must be 'interp' or 'kernel', not {backend!r}"
+        )
+    if mode not in ("safety", "liveness", "both"):
+        raise ValueError(
+            f"mode must be 'safety', 'liveness' or 'both', not {mode!r}"
         )
     if isinstance(protocol, str):
         # Imported lazily: the registry lives above the core package.
@@ -190,4 +240,12 @@ def verify(
         stop_on_error=stop_on_error,
         guard=guard,
     )
+    if mode != "safety":
+        # Imported lazily: the liveness pass lives above the core
+        # package.  It is backend-agnostic -- it consumes the decoded
+        # ExpansionResult, so interpreter and kernel runs get the same
+        # verdict by construction.
+        from ..liveness import analyze_liveness
+
+        result.liveness = analyze_liveness(result)
     return VerificationReport(result, lint=lint_report)

@@ -67,6 +67,15 @@ class BatchReport:
         return sum(1 for r in self.results if r.status == JobStatus.VIOLATION)
 
     @property
+    def not_live(self) -> int:
+        """Safety-clean jobs with a starvable request (liveness modes)."""
+        return sum(
+            1
+            for r in self.results
+            if r.status == JobStatus.LIVENESS_VIOLATION
+        )
+
+    @property
     def errors(self) -> int:
         """Jobs that errored, timed out, crashed or were rejected."""
         return sum(
@@ -102,7 +111,8 @@ class BatchReport:
 
     @property
     def exit_code(self) -> int:
-        """CLI exit status: 0 ok, 1 violations found, 2 job errors.
+        """CLI exit status: 0 ok, 1 violations (safety or liveness),
+        2 job errors.
 
         Partial results count as errors here: the batch did not fully
         verify everything, so success cannot be claimed -- but any
@@ -111,7 +121,7 @@ class BatchReport:
         """
         if self.errors or self.partials:
             return 2
-        if self.violations:
+        if self.violations or self.not_live:
             return 1
         return 0
 
@@ -174,6 +184,8 @@ class BatchReport:
             f"{len(self.results)} jobs: {self.verified} verified, "
             f"{self.violations} with violations, {self.errors} errors"
         )
+        if self.not_live:
+            line += f", {self.not_live} not live"
         if self.partials:
             line += f", {self.partials} partial"
         if self.rejected:
@@ -199,6 +211,7 @@ def run_batch(
     runner: SerialRunner | ParallelRunner | None = None,
     preflight: str | None = None,
     backend: str | None = None,
+    mode: str | None = None,
     resume: Sequence[dict[str, Any]] | None = None,
     backoff: BackoffPolicy | None = None,
     breaker: CircuitBreaker | None = None,
@@ -239,6 +252,12 @@ def run_batch(
         ``"kernel"``); ``None`` honours the per-job setting.  The
         override rewrites the jobs themselves, so cache keys and
         journal metadata reflect the backend that actually ran.
+    mode:
+        Override every job's verification ``mode`` (``"safety"``,
+        ``"liveness"`` or ``"both"``, see :mod:`repro.liveness`);
+        ``None`` honours the per-job setting.  Like ``backend``, the
+        override rewrites the jobs themselves, so cache keys and
+        journal metadata reflect the mode that actually ran.
     resume:
         Event stream of an interrupted run (``RunJournal.read(path)``):
         jobs whose ``job_finish`` record carries a terminal
@@ -281,10 +300,19 @@ def run_batch(
         raise ValueError(
             f"backend must be None, 'interp' or 'kernel', not {backend!r}"
         )
+    if mode not in (None, "safety", "liveness", "both"):
+        raise ValueError(
+            f"mode must be None, 'safety', 'liveness' or 'both', not {mode!r}"
+        )
     jobs = list(jobs)
     if backend is not None:
         jobs = [
             job if job.backend == backend else replace(job, backend=backend)
+            for job in jobs
+        ]
+    if mode is not None:
+        jobs = [
+            job if job.mode == mode else replace(job, mode=mode)
             for job in jobs
         ]
     if journal is None:
@@ -310,6 +338,7 @@ def run_batch(
         journal=str(journal.path) if journal.path is not None else None,
         preflight=preflight,
         backend=backend,
+        mode=mode,
     )
 
     # A resumed run adopts the prior journal's terminal error/rejected
@@ -489,6 +518,7 @@ def run_batch(
         jobs=len(jobs),
         verified=report.verified,
         violations=report.violations,
+        not_live=report.not_live,
         errors=report.errors,
         partials=report.partials,
         rejected=report.rejected,

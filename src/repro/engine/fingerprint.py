@@ -36,7 +36,9 @@ __all__ = [
 #: "2": budgets joined the job key and payloads may carry a
 #: ``partial`` section.
 #: "3": the expansion backend joined the job key.
-ENGINE_VERSION = "3"
+#: "4": the verification mode joined the job key and liveness-mode
+#: payloads carry a ``liveness`` section.
+ENGINE_VERSION = "4"
 
 
 def canonical_json(payload: Any) -> str:
@@ -69,6 +71,7 @@ def job_key(fingerprint: str, job: VerificationJob) -> str:
                 "augmented": job.augmented,
                 "pruning": job.pruning,
                 "backend": job.backend,
+                "mode": job.mode,
                 "max_visits": job.max_visits,
                 "deadline": job.deadline,
                 "max_states": job.max_states,

@@ -55,12 +55,17 @@ class JobStatus:
     #: expired before the fixpoint: the payload carries everything
     #: computed so far, but the verdict is inconclusive.
     PARTIAL = "partial"
+    #: A liveness-mode job found no erroneous state but did find a
+    #: starvable request: the payload's ``liveness`` key carries the
+    #: lasso witnesses.  A safety violation takes precedence -- a job
+    #: is ``violation`` even if it is also not live.
+    LIVENESS_VIOLATION = "liveness-violation"
 
     #: Statuses for which a verification actually completed and
     #: produced a payload.
-    COMPLETED = (VERIFIED, VIOLATION)
+    COMPLETED = (VERIFIED, VIOLATION, LIVENESS_VIOLATION)
     #: Statuses that carry a (possibly partial) verification payload.
-    WITH_PAYLOAD = (VERIFIED, VIOLATION, PARTIAL)
+    WITH_PAYLOAD = (VERIFIED, VIOLATION, LIVENESS_VIOLATION, PARTIAL)
 
 
 @dataclass(frozen=True)
@@ -96,6 +101,13 @@ class VerificationJob:
     payloads separate means a cached entry always says which engine
     produced it -- and the documented ``stats.scenarios`` divergence
     on warm kernel runs never leaks across backends.
+
+    ``mode`` selects what is checked (``"safety"``, ``"liveness"`` or
+    ``"both"``, see :mod:`repro.liveness`): liveness modes run the
+    starvation analysis after the expansion and report starvable
+    requests as ``liveness-violation`` results.  It is part of the
+    cache key -- the payloads differ (the ``liveness`` key) even
+    though the expansion itself is identical.
     """
 
     protocol: str | None = None
@@ -108,6 +120,7 @@ class VerificationJob:
     validate_spec: bool = False
     preflight: str = "off"
     backend: str = "interp"
+    mode: str = "safety"
     deadline: float | None = None
     max_states: int | None = None
     max_rss_mb: float | None = None
@@ -130,6 +143,11 @@ class VerificationJob:
         if self.backend not in ("interp", "kernel"):
             raise ValueError(
                 f"backend must be 'interp' or 'kernel', not {self.backend!r}"
+            )
+        if self.mode not in ("safety", "liveness", "both"):
+            raise ValueError(
+                f"mode must be 'safety', 'liveness' or 'both', "
+                f"not {self.mode!r}"
             )
         if not self.label:
             object.__setattr__(self, "label", self._default_label())
@@ -183,6 +201,7 @@ class VerificationJob:
             "validate_spec": self.validate_spec,
             "preflight": self.preflight,
             "backend": self.backend,
+            "mode": self.mode,
             "deadline": self.deadline,
             "max_states": self.max_states,
             "max_rss_mb": self.max_rss_mb,
@@ -247,6 +266,7 @@ class JobResult:
         return {
             JobStatus.VERIFIED: "VERIFIED",
             JobStatus.VIOLATION: "FAILED",
+            JobStatus.LIVENESS_VIOLATION: "NOT-LIVE",
             JobStatus.ERROR: "ERROR",
             JobStatus.TIMEOUT: "TIMEOUT",
             JobStatus.CRASH: "CRASH",
@@ -285,12 +305,15 @@ def execute_job(
             validate_spec=job.validate_spec,
             guard=guard,
             backend=job.backend,
+            mode=job.mode,
         )
         result = report.result
         if result.violations:
             status = JobStatus.VIOLATION
         elif result.partial:
             status = JobStatus.PARTIAL
+        elif result.liveness is not None and result.liveness.violations:
+            status = JobStatus.LIVENESS_VIOLATION
         else:
             status = JobStatus.VERIFIED
         return JobResult(

@@ -598,6 +598,13 @@ def check_stall_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
     context resolves is not flagged -- the flow engine strictly demotes
     the old probe-sample heuristic's false positives.  When lowering
     fails the probe-sample heuristic still runs as a fallback.
+
+    This remains a *static over-approximation* of the dynamic
+    starvation analysis (:mod:`repro.liveness`, ``--mode liveness``):
+    no statically reachable stall implies dynamically live (enforced
+    by :mod:`repro.testkit.livediff`), but a flagged stall may still
+    be resolvable at run time -- which is why this rule warns while
+    the liveness analysis verdicts.  See docs/LIVENESS.md.
     """
     flow = ctx.flow
     if flow is None:

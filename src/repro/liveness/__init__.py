@@ -1,0 +1,31 @@
+"""Liveness and deadlock-freedom verification (ROADMAP item 4).
+
+The safety verifier answers "is an erroneous state reachable?"; this
+package answers "can a pending request be refused forever?".  It is a
+post-pass over a completed symbolic expansion: the essential-state
+graph, closed under the ``contains`` covering, is turned into a
+product automaton tracking one blocked cache, and every stallable
+request is checked for a reachable serving state.  Failures come back
+as lasso-shaped witnesses (``stem`` + ``loop``) that replay through
+the ordinary reaction semantics.
+
+Wired end to end as ``mode={"safety", "liveness", "both"}`` on
+:func:`repro.verify`, verification jobs, batch runs, the campaign
+server and the CLI; see ``docs/LIVENESS.md``.
+"""
+
+from .analyze import analyze_liveness
+from .model import LassoStep, LassoWitness, LivenessReport, retry_label
+from .replay import replay_lasso
+
+__all__ = [
+    "analyze_liveness",
+    "LassoStep",
+    "LassoWitness",
+    "LivenessReport",
+    "retry_label",
+    "replay_lasso",
+]
+
+#: Verification modes accepted end to end (verify / jobs / batch / CLI).
+MODES = ("safety", "liveness", "both")

@@ -1,0 +1,191 @@
+"""Data model of the liveness verdict: lasso witnesses and the report.
+
+A liveness counterexample is *lasso-shaped*: a finite ``stem`` from the
+initial state to a pending request, followed by a finite ``loop`` of
+global transitions the rest of the system can repeat forever without
+ever serving that request.  Each :class:`LassoStep` tracks both the
+global composite state and -- once the request is pending -- the FSM
+symbol of the blocked cache, which evolves through observer reactions
+while it waits.
+
+Two flavours, mirroring :class:`~repro.core.errors.ErrorKind`:
+
+``stall-cycle``
+    The loop has at least one real transition: other caches keep the
+    system moving around a cycle in which every retry of the pending
+    operation stalls.
+
+``deadlock``
+    No transition can change the state at all; the loop degenerates to
+    the retry itself (rendered as a ``retry[...]`` self-edge).
+
+Everything here is plain data with deterministic ``to_dict``
+renderings; the algorithms live in :mod:`repro.liveness.analyze` and
+:mod:`repro.liveness.replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.composite import CompositeState
+from ..core.errors import ErrorKind, Violation
+from ..core.symbols import Op
+
+__all__ = [
+    "LassoStep",
+    "LassoWitness",
+    "LivenessReport",
+    "retry_label",
+]
+
+
+def retry_label(op: Op, cache: str) -> str:
+    """The label of the implicit stall self-edge of a pending request."""
+    return f"retry[{op.value}_{cache.lower()}]"
+
+
+@dataclass(frozen=True)
+class LassoStep:
+    """One node of a lasso, plus the edge leaving it.
+
+    ``cache`` is the blocked cache's FSM symbol at this node; ``None``
+    on stem steps taken before the request became pending.  ``label``
+    is the global-transition label of the edge to the next step (for
+    the last loop step: back to the loop head).
+    """
+
+    state: CompositeState
+    cache: str | None
+    label: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-able rendering."""
+        return {
+            "state": self.state.pretty(),
+            "cache": self.cache,
+            "label": self.label,
+        }
+
+
+@dataclass(frozen=True)
+class LassoWitness:
+    """A starvation counterexample: pending request, stem and loop.
+
+    The stem starts at the essential cover of the initial state and
+    ends at the loop head (``loop[0]``); the loop's last step closes
+    the cycle back to the head.  ``op`` and ``cache`` identify the
+    starved request: a cache that was in FSM state ``cache`` when its
+    ``op`` first stalled.
+    """
+
+    op: Op
+    cache: str
+    kind: ErrorKind
+    stem: tuple[LassoStep, ...]
+    loop: tuple[LassoStep, ...]
+
+    @property
+    def pending(self) -> str:
+        """Display name of the starved request, e.g. ``R_invalid``."""
+        return f"{self.op.value}_{self.cache.lower()}"
+
+    @property
+    def signature(self) -> str:
+        """Compact deterministic identity of this lasso.
+
+        Pins the starved request, the flavour and the loop's edge
+        labels -- stable across runs and backends (the analysis is a
+        pure function of the expansion graph), so regression corpora
+        can record it and flag drift.
+        """
+        loop = ",".join(step.label for step in self.loop)
+        return f"{self.pending} {self.kind.value} stem={len(self.stem)} loop=[{loop}]"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-able rendering."""
+        return {
+            "op": self.op.value,
+            "cache": self.cache,
+            "kind": self.kind.value,
+            "stem": [step.to_dict() for step in self.stem],
+            "loop": [step.to_dict() for step in self.loop],
+        }
+
+    def render(self) -> str:
+        """Multi-line rendering in the style of safety witnesses."""
+        lines = [f"  pending request: {self.pending} ({self.kind.value})"]
+        for step in self.stem:
+            suffix = f"   [blocked cache: {step.cache}]" if step.cache else ""
+            lines.append(f"  {step.state.pretty()}{suffix}")
+            lines.append(f"    --{step.label}-->")
+        lines.append("  LOOP:")
+        for step in self.loop:
+            suffix = f"   [blocked cache: {step.cache}]" if step.cache else ""
+            lines.append(f"  | {step.state.pretty()}{suffix}")
+            lines.append(f"  |   --{step.label}-->")
+        lines.append("  '--> back to the loop head; the request never completes")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LivenessReport:
+    """Outcome of one liveness analysis over a completed expansion.
+
+    ``checked`` is False when the analysis could not run (partial
+    expansion, or one stopped at the first safety error): liveness
+    needs the full fixpoint, because the product graph is closed over
+    the *complete* essential set.  An unchecked report carries the
+    ``reason`` and no verdict.
+    """
+
+    checked: bool
+    reason: str | None = None
+    #: Pending product nodes examined (state, cache, op triples that
+    #: can stall in at least one scenario).
+    pending: int = 0
+    #: Distinct product nodes explored across all reachability searches.
+    nodes: int = 0
+    violations: tuple[Violation, ...] = ()
+    lassos: tuple[LassoWitness, ...] = field(default_factory=tuple)
+
+    @property
+    def live(self) -> bool:
+        """True iff the analysis ran and found no starvable request."""
+        return self.checked and not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-able rendering (see ``result_to_dict``)."""
+        return {
+            "checked": self.checked,
+            "reason": self.reason,
+            "live": self.live,
+            "pending": self.pending,
+            "nodes": self.nodes,
+            "violations": [
+                {
+                    "kind": v.kind.value,
+                    "message": v.message,
+                    "state": v.state.pretty() if v.state is not None else None,
+                }
+                for v in self.violations
+            ],
+            "lassos": [lasso.to_dict() for lasso in self.lassos],
+        }
+
+    def summary(self) -> str:
+        """One-line summary for reports and logs."""
+        if not self.checked:
+            return f"liveness: not checked ({self.reason})"
+        if self.live:
+            return (
+                f"liveness: LIVE -- every pending request can be served "
+                f"({self.pending} pending nodes over {self.nodes} product "
+                "nodes)"
+            )
+        return (
+            f"liveness: NOT LIVE -- {len(self.violations)} starvable "
+            f"requests ({self.pending} pending nodes over {self.nodes} "
+            "product nodes)"
+        )

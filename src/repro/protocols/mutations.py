@@ -19,6 +19,29 @@ forget-supplier-demotion       two "exclusive" owners coexist
 skip-memory-update-on-supply   memory stale, value later lost
 drop-update-broadcast          stale copy in a write-update protocol
 =============================  =====================================
+
+A second catalog, :data:`LIVENESS_MUTATIONS`, holds bugs that are
+*safety-clean* -- no erroneous state ever becomes reachable -- but
+starve a pending request forever, so only the liveness analysis
+(:mod:`repro.liveness`) rejects them:
+
+=============================  =====================================
+mutation                       starvation it induces
+=============================  =====================================
+stall-forever                  read misses stall on any remote copy,
+                               and evictions stall too, so the
+                               blocking copies never go away
+stall-write-miss               same bus-starvation bug for write
+                               misses
+drop-release                   the lock holder's UNLOCK is dropped;
+                               every contender retries forever
+=============================  =====================================
+
+The catalogs are deliberately separate: :func:`mutants_for` (safety
+harnesses, mutant matrices, the agreement suite) only ever sees
+safety-broken mutants, while :func:`liveness_mutants_for` feeds the
+liveness differential harness.  :func:`get_mutant` resolves keys from
+either catalog.
 """
 
 from __future__ import annotations
@@ -27,14 +50,16 @@ from dataclasses import dataclass, replace
 from typing import Callable
 
 from ..core.protocol import ProtocolSpec
-from ..core.reactions import Ctx, Outcome
+from ..core.reactions import Ctx, Outcome, stall
 from ..core.symbols import Op
 
 __all__ = [
     "Mutation",
     "MutatedProtocol",
     "MUTATIONS",
+    "LIVENESS_MUTATIONS",
     "mutants_for",
+    "liveness_mutants_for",
     "get_mutant",
 ]
 
@@ -162,6 +187,45 @@ def _drop_update_broadcast(
     return replace(outcome, observers=changed)
 
 
+def _stall_forever(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """A broken bus arbiter starves read misses: any remote copy makes
+    the miss stall, and evictions stall too (the victim buffer never
+    drains), so the blocking copies can never go away.  Safety-clean --
+    the reachable states are a subset of the base protocol's -- but the
+    stalled reader retries forever."""
+    if op is Op.READ and state == base.invalid and ctx.any_copy:
+        return stall(state)
+    if op is Op.REPLACE and not outcome.stalled:
+        return stall(state)
+    return outcome
+
+
+def _stall_write_miss(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """The same bus-starvation bug for write misses: a write from the
+    invalid state stalls while any remote copy exists, and evictions
+    stall, so the copies persist and the writer starves."""
+    if op is Op.WRITE and state == base.invalid and ctx.any_copy:
+        return stall(state)
+    if op is Op.REPLACE and not outcome.stalled:
+        return stall(state)
+    return outcome
+
+
+def _drop_release(
+    base: ProtocolSpec, state: str, op: Op, ctx: Ctx, outcome: Outcome
+) -> Outcome:
+    """The lock holder's release is dropped on the bus: UNLOCK stalls
+    forever, so the block stays Locked and every contender -- and the
+    holder itself -- retries forever."""
+    if op is Op.UNLOCK:
+        return stall(state)
+    return outcome
+
+
 _INVALIDATING = frozenset(
     {"write-once", "synapse", "berkeley", "illinois", "msi", "moesi", "mesif", "lock-msi"}
 )
@@ -219,8 +283,36 @@ MUTATIONS: dict[str, Mutation] = {
 }
 
 
+#: Safety-clean starvation bugs, keyed by mutation name.  Kept apart
+#: from :data:`MUTATIONS` so safety-oriented harnesses ("every mutant
+#: is killed by the reachability check") keep their invariant.
+LIVENESS_MUTATIONS: dict[str, Mutation] = {
+    m.key: m
+    for m in (
+        Mutation(
+            "stall-forever",
+            "read misses and evictions stall forever on remote copies",
+            _stall_forever,
+            None,
+        ),
+        Mutation(
+            "stall-write-miss",
+            "write misses and evictions stall forever on remote copies",
+            _stall_write_miss,
+            None,
+        ),
+        Mutation(
+            "drop-release",
+            "the lock release is dropped: UNLOCK stalls forever",
+            _drop_release,
+            frozenset({"lock-msi"}),
+        ),
+    )
+}
+
+
 def mutants_for(spec: ProtocolSpec) -> list[MutatedProtocol]:
-    """Every applicable mutant of *spec*, in catalog order."""
+    """Every applicable safety-broken mutant of *spec*, in catalog order."""
     return [
         MutatedProtocol(spec, mutation)
         for mutation in MUTATIONS.values()
@@ -228,9 +320,20 @@ def mutants_for(spec: ProtocolSpec) -> list[MutatedProtocol]:
     ]
 
 
+def liveness_mutants_for(spec: ProtocolSpec) -> list[MutatedProtocol]:
+    """Every applicable safety-clean starving mutant of *spec*."""
+    return [
+        MutatedProtocol(spec, mutation)
+        for mutation in LIVENESS_MUTATIONS.values()
+        if mutation.applicable_to(spec)
+    ]
+
+
 def get_mutant(spec: ProtocolSpec, key: str) -> MutatedProtocol:
-    """The mutant of *spec* for the mutation named *key*."""
-    mutation = MUTATIONS[key]
+    """The mutant of *spec* for the mutation named *key* (either catalog)."""
+    mutation = MUTATIONS.get(key) or LIVENESS_MUTATIONS.get(key)
+    if mutation is None:
+        raise KeyError(key)
     if not mutation.applicable_to(spec):
         raise ValueError(f"mutation {key!r} does not apply to {spec.name}")
     return MutatedProtocol(spec, mutation)

@@ -58,6 +58,7 @@ class CampaignRequest:
     structural: bool = False
     preflight: str | None = None
     backend: str = "interp"
+    mode: str = "safety"
     deadline: float | None = None
     max_visits: int = 1_000_000
 
@@ -79,6 +80,11 @@ class CampaignRequest:
         if self.backend not in ("interp", "kernel"):
             raise ValueError(
                 f"backend must be 'interp' or 'kernel', not {self.backend!r}"
+            )
+        if self.mode not in ("safety", "liveness", "both"):
+            raise ValueError(
+                f"mode must be 'safety', 'liveness' or 'both', "
+                f"not {self.mode!r}"
             )
         if not self.tenant or not isinstance(self.tenant, str):
             raise ValueError("tenant must be a non-empty string")
@@ -104,6 +110,7 @@ class CampaignRequest:
             "structural",
             "preflight",
             "backend",
+            "mode",
             "deadline",
             "max_visits",
         }
@@ -132,6 +139,9 @@ class CampaignRequest:
         backend = payload.get("backend", "interp")
         if not isinstance(backend, str):
             raise ValueError("backend must be a string")
+        mode = payload.get("mode", "safety")
+        if not isinstance(mode, str):
+            raise ValueError("mode must be a string")
         return cls(
             protocols=tuple(protocols),
             mutants=bool(payload.get("mutants", False)),
@@ -141,6 +151,7 @@ class CampaignRequest:
             structural=bool(payload.get("structural", False)),
             preflight=payload.get("preflight"),
             backend=backend,
+            mode=mode,
             deadline=float(deadline) if deadline is not None else None,
             max_visits=max_visits,
         )
@@ -156,6 +167,7 @@ class CampaignRequest:
             "structural": self.structural,
             "preflight": self.preflight,
             "backend": self.backend,
+            "mode": self.mode,
             "deadline": self.deadline,
             "max_visits": self.max_visits,
         }
@@ -251,6 +263,7 @@ class CampaignRequest:
                     augmented=not self.structural,
                     validate_spec=True,
                     backend=self.backend,
+                    mode=self.mode,
                     deadline=deadline,
                     max_visits=max_visits,
                 )
@@ -263,6 +276,7 @@ class CampaignRequest:
                             mutant=mutant.mutation.key,
                             augmented=not self.structural,
                             backend=self.backend,
+                            mode=self.mode,
                             deadline=deadline,
                             max_visits=max_visits,
                         )
@@ -277,6 +291,7 @@ class CampaignRequest:
                     spec_file=str(path),
                     augmented=not self.structural,
                     backend=self.backend,
+                    mode=self.mode,
                     deadline=deadline,
                     max_visits=max_visits,
                 )
@@ -389,6 +404,7 @@ def report_to_dict(report: BatchReport) -> dict[str, Any]:
             "jobs": len(report.results),
             "verified": report.verified,
             "violations": report.violations,
+            "not_live": report.not_live,
             "errors": report.errors,
             "partials": report.partials,
             "rejected": report.rejected,

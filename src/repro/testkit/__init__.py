@@ -38,7 +38,13 @@ perturbations of them; this subsystem removes the human from the loop:
   (verdicts, violation kinds, essential sets, concrete state spaces)
   over the zoo, the builtin DSL specs, the pinned corpus and freshly
   generated specifications; budget-exhausted comparisons degrade to
-  skipped instead of failing.
+  skipped instead of failing;
+* :mod:`repro.testkit.livediff` -- the liveness differential gate:
+  every ``NOT LIVE`` verdict from :mod:`repro.liveness` must carry a
+  lasso that re-executes through the reaction semantics, a spec with
+  no statically reachable stall (rule PL008) must be dynamically
+  live, and every seeded starvation mutant must be caught; runs over
+  the zoo, the corpus and generated stalling specifications.
 
 Related verification efforts (the GAL model of a coherence protocol,
 Meunier et al.; the CXL.cache formalisation, Tan et al.) found their
@@ -59,6 +65,14 @@ from .kerneldiff import (
     kernel_diff_corpus,
     kernel_diff_generated,
     kernel_diff_spec,
+)
+from .livediff import (
+    LiveDiffFinding,
+    LiveDiffReport,
+    live_diff_all,
+    live_diff_corpus,
+    live_diff_generated,
+    live_diff_spec,
 )
 from .oracle import (
     Disagreement,
@@ -81,6 +95,8 @@ __all__ = [
     "IRDiffReport",
     "KernelDiffFinding",
     "KernelDiffReport",
+    "LiveDiffFinding",
+    "LiveDiffReport",
     "OracleBudget",
     "OracleReport",
     "ReplayReport",
@@ -95,6 +111,10 @@ __all__ = [
     "kernel_diff_corpus",
     "kernel_diff_generated",
     "kernel_diff_spec",
+    "live_diff_all",
+    "live_diff_corpus",
+    "live_diff_generated",
+    "live_diff_spec",
     "run_campaign",
     "run_oracle",
     "shrink",

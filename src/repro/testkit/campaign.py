@@ -48,6 +48,14 @@ class CampaignConfig:
     budget: OracleBudget = field(default_factory=OracleBudget)
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     augmented: bool = True
+    #: Verification mode for the symbolic side (``"safety"``,
+    #: ``"liveness"`` or ``"both"``): liveness modes additionally run
+    #: the starvation analysis on every generated spec, check the
+    #: static/dynamic agreement (a spec with no statically reachable
+    #: stall must be dynamically live) and re-execute every emitted
+    #: lasso through the reaction semantics; a broken invariant is a
+    #: campaign finding.
+    mode: str = "safety"
     #: Worker processes for the symbolic batch (1 = serial in-process).
     workers: int = 1
     #: Where findings are persisted; ``None`` disables persistence.
@@ -56,6 +64,13 @@ class CampaignConfig:
     shrink_findings: bool = True
     journal: RunJournal | None = None
     cache: ResultCache | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("safety", "liveness", "both"):
+            raise ValueError(
+                f"mode must be 'safety', 'liveness' or 'both', "
+                f"not {self.mode!r}"
+            )
 
 
 @dataclass
@@ -82,6 +97,11 @@ class CampaignReport:
     def skipped(self) -> int:
         """Inconclusive (budget-exhausted) comparisons."""
         return sum(1 for s in self.specs if s["outcome"] == "skipped")
+
+    @property
+    def starved(self) -> int:
+        """Specs the liveness analysis found not live (liveness modes)."""
+        return sum(1 for s in self.specs if s.get("live") is False)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +131,8 @@ class CampaignReport:
             f"{self.agreed} agree, {len(self.findings)} disagree, "
             f"{self.skipped} skipped"
         ]
+        if self.starved:
+            lines[0] += f", {self.starved} not live"
         for finding in self.findings:
             lines.append(
                 f"  FINDING {finding['name']}: {finding['kind']} -- "
@@ -121,7 +143,9 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def _spec_record(name: str, digest: str, report: OracleReport) -> dict[str, Any]:
+def _spec_record(
+    name: str, digest: str, report: OracleReport, live: bool | None
+) -> dict[str, Any]:
     """One deterministic per-spec line for the findings document."""
     return {
         "name": name,
@@ -131,7 +155,83 @@ def _spec_record(name: str, digest: str, report: OracleReport) -> dict[str, Any]
         "skipped": report.skipped,
         "symbolic_verified": report.symbolic_verified,
         "checked_ns": list(report.checked_ns),
+        "live": live,
     }
+
+
+def _liveness_findings(
+    spec: Any, name: str, digest: str, config: CampaignConfig
+) -> tuple[bool | None, list[dict[str, Any]]]:
+    """Liveness verdict plus any broken harness invariants for *spec*.
+
+    Re-runs verification in-process (generated specs are tiny) so the
+    lassos exist as objects, then checks:
+
+    * every emitted lasso re-executes through the reaction semantics
+      (``liveness-lasso-replay`` finding otherwise);
+    * a spec with no statically reachable stall is dynamically live
+      (``liveness-static-contradiction`` otherwise) -- the sound
+      direction of the PL008 static approximation, see docs/LIVENESS.md.
+    """
+    from ..core.verifier import verify
+    from ..liveness import replay_lasso
+
+    report = verify(
+        spec,
+        augmented=config.augmented,
+        max_visits=config.budget.symbolic_visits,
+        validate_spec=False,
+        mode="liveness",
+    )
+    liveness = report.result.liveness
+    assert liveness is not None
+    if not liveness.checked:
+        return None, []
+    findings: list[dict[str, Any]] = []
+
+    def _finding(kind: str, detail: str) -> dict[str, Any]:
+        return {
+            "name": name,
+            "kind": kind,
+            "detail": detail,
+            "n": None,
+            "digest": digest,
+            "minimized_digest": digest,
+            "shrink_steps": 0,
+            "shrink_attempts": 0,
+        }
+
+    for lasso in liveness.lassos:
+        ok, reason = replay_lasso(report.result, lasso)
+        if not ok:
+            findings.append(
+                _finding(
+                    "liveness-lasso-replay",
+                    f"{lasso.signature}: {reason}",
+                )
+            )
+    if not liveness.live and not _static_can_stall(spec):
+        findings.append(
+            _finding(
+                "liveness-static-contradiction",
+                "no statically reachable stall, yet "
+                f"{len(liveness.violations)} starvable requests",
+            )
+        )
+    return liveness.live, findings
+
+
+def _static_can_stall(spec: Any) -> bool:
+    """Whether the flow analysis reaches any stalling transition."""
+    from ..ir import lower
+    from ..lint.flow import FlowAnalysis
+
+    try:
+        program = lower(spec)
+    except Exception:  # pragma: no cover - non-lowerable ad-hoc spec
+        return True  # cannot prove stall-freedom: no contradiction
+    flow = FlowAnalysis(program)
+    return bool(flow.stalls)
 
 
 def run_campaign(config: CampaignConfig) -> CampaignReport:
@@ -154,6 +254,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         workers=config.workers,
         cache=config.cache,
         journal=config.journal,
+        mode=config.mode,
     )
 
     report = CampaignReport(
@@ -182,7 +283,16 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             symbolic=view,
             augmented=config.augmented,
         )
-        report.specs.append(_spec_record(model.name, digest, oracle))
+        live: bool | None = None
+        if config.mode != "safety" and result.status in (
+            JobStatus.VERIFIED,
+            JobStatus.LIVENESS_VIOLATION,
+        ):
+            live, broken = _liveness_findings(
+                spec, model.name, digest, config
+            )
+            report.findings.extend(broken)
+        report.specs.append(_spec_record(model.name, digest, oracle, live))
         if oracle.outcome != "disagree":
             continue
 

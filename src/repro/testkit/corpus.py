@@ -17,6 +17,14 @@ overwrites the same pair) and renames impossible to get wrong.
 recorded budget and compares the observed outcome against the recorded
 one -- drift in either direction (a pinned agreement now disagrees, or
 a pinned disagreement no longer reproduces) is a regression.
+
+Entries whose ``kind`` starts with ``"liveness-"`` pin *starvation*
+bugs instead of oracle disagreements: replay runs the liveness
+analysis (:mod:`repro.liveness`), re-executes the first lasso through
+the reaction semantics, and compares the lasso's deterministic
+signature against the one recorded in ``detail``.  A spec that became
+safety-broken, went live, stopped replaying, or changed its lasso all
+count as drift.
 """
 
 from __future__ import annotations
@@ -182,6 +190,12 @@ class Corpus:
         for entry in self.entries():
             spec = entry.compile()
             spec.validate()
+            if entry.kind.startswith("liveness-"):
+                report.checked += 1
+                observed = _replay_liveness(spec, entry, augmented=augmented)
+                if observed != entry.kind:
+                    report.mismatches.append((entry, observed))
+                continue
             oracle: OracleReport = run_oracle(
                 spec, budget=entry.budget, augmented=augmented
             )
@@ -197,3 +211,34 @@ class Corpus:
             if observed != entry.kind:
                 report.mismatches.append((entry, observed))
         return report
+
+
+def _replay_liveness(spec, entry: CorpusEntry, *, augmented: bool) -> str:
+    """Observed outcome for a pinned liveness entry.
+
+    Returns the entry's own ``kind`` only when the spec is still
+    safety-clean, still not live with the same flavour, the first lasso
+    still replays through the reaction semantics, and -- when the entry
+    pins one -- its signature still matches ``detail``.
+    """
+    from ..core.essential import explore
+    from ..liveness import analyze_liveness, replay_lasso
+
+    result = explore(
+        spec, augmented=augmented, max_visits=entry.budget.symbolic_visits
+    )
+    if result.violations:
+        # The bug mutated into a safety violation: that is drift.
+        return result.violations[0].kind.value
+    liveness = analyze_liveness(result)
+    if not liveness.checked:
+        return "liveness-unchecked"
+    if liveness.live:
+        return "none"
+    lasso = liveness.lassos[0]
+    ok, reason = replay_lasso(result, lasso)
+    if not ok:
+        return f"liveness-unreplayable ({reason})"
+    if entry.detail and entry.detail != lasso.signature:
+        return f"liveness-signature-drift ({lasso.signature})"
+    return f"liveness-{lasso.kind.value}"

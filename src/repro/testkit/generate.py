@@ -212,6 +212,12 @@ class GeneratorConfig:
     #: Probability of each forbidden-pattern directive.
     p_forbid_multiple: float = 0.5
     p_forbid_together: float = 0.25
+    #: Probability of stalling rules (a guarded stall ahead of a miss
+    #: fallback, or a replacement that stalls forever).  Off by
+    #: default: the knob exists for liveness fuzzing, and keeping it at
+    #: exactly 0.0 makes no extra RNG draws, so default-config streams
+    #: are unchanged.
+    p_stall: float = 0.0
 
 
 @dataclass
@@ -344,6 +350,17 @@ class SpecGenerator:
         """The rule group for ``(invalid, op)``: guarded fills + fallback."""
         cfg = self.config
         rules: list[RuleModel] = []
+        if cfg.p_stall and rng.random() < cfg.p_stall:
+            blocker = rng.choice(valid)
+            rules.append(
+                RuleModel(
+                    state=_INVALID,
+                    op=op,
+                    guard=f"has({blocker})",
+                    next=_INVALID,
+                    stalled=True,
+                )
+            )
         if rng.random() < cfg.p_guarded:
             supplier = rng.choice(valid)
             rules.append(
@@ -424,16 +441,25 @@ class SpecGenerator:
             )
         )
 
-        # Replacement always lands in the invalid state.
-        rules.append(
-            RuleModel(
-                state=state,
-                op="Z",
-                guard=None,
-                next=_INVALID,
-                writeback="self"
-                if rng.random() < cfg.p_replace_writeback
-                else None,
+        # Replacement always lands in the invalid state -- unless the
+        # stall knob turns it into an eviction that never happens,
+        # which pins the copy forever (the canonical starvation seed).
+        if cfg.p_stall and rng.random() < cfg.p_stall:
+            rules.append(
+                RuleModel(
+                    state=state, op="Z", guard=None, next=state, stalled=True
+                )
             )
-        )
+        else:
+            rules.append(
+                RuleModel(
+                    state=state,
+                    op="Z",
+                    guard=None,
+                    next=_INVALID,
+                    writeback="self"
+                    if rng.random() < cfg.p_replace_writeback
+                    else None,
+                )
+            )
         return rules

@@ -125,12 +125,21 @@ def _flow_findings(
 ) -> Iterable[IRDiffFinding]:
     """Symbolic facts the over-approximation must cover."""
     # Every exercised initiator transition completes in some reachable
-    # concrete context, so its cell must be flow-completing.
+    # concrete context, so its cell must be flow-completing.  A cell
+    # whose transitions are all stalls is exempt: the expansion still
+    # records the refused attempt (a self-loop the liveness analysis
+    # feeds on), but nothing ever completes there, and the flow
+    # analysis is right to say so.
     exercised = {
         (t.label.initiator, t.label.op.value) for t in base.transitions
     }
     for state, op in sorted(exercised):
         cell = (ir.state_id(state), ir.op_id(op))
+        cell_rules = [
+            t for t in ir.transitions if (t.state, t.op) == cell
+        ]
+        if cell_rules and all(t.action.stalled for t in cell_rules):
+            continue
         if cell not in flow.completes:
             yield IRDiffFinding(
                 "flow",

@@ -19,6 +19,12 @@ verifier.  Two claim families, each a finding when violated:
     reach the same concrete states and report the same violation kinds
     under both equivalences.
 
+``liveness``
+    The starvation analysis (:mod:`repro.liveness`) is a pure function
+    of the expansion graph, so running it over the kernel's result and
+    the interpreter's result must produce byte-identical verdict
+    documents -- same violations, same lassos, same signatures.
+
 Specifications the kernel cannot lower, and runs a budget guard cuts
 short on either side, degrade to *skipped* -- an inconclusive
 comparison is not a parity failure.  Run one spec with
@@ -119,6 +125,22 @@ def _explore_findings(name, base, kern):
         )
 
 
+def _liveness_findings(name, base, kern):
+    import json
+
+    from ..liveness import analyze_liveness
+
+    base_doc = json.dumps(analyze_liveness(base).to_dict(), sort_keys=True)
+    kern_doc = json.dumps(analyze_liveness(kern).to_dict(), sort_keys=True)
+    if base_doc != kern_doc:
+        yield KernelDiffFinding(
+            "liveness",
+            name,
+            "liveness documents differ between interpreter and kernel "
+            "expansions",
+        )
+
+
 def _enumerate_findings(name, n, equivalence, base, kern):
     base_kinds, kern_kinds = _kinds(base), _kinds(kern)
     where = f"n={n}, {equivalence.value}"
@@ -173,6 +195,7 @@ def kernel_diff_spec(
             spec=name, findings=(), essential=0, skipped="budget exhausted"
         )
     findings.extend(_explore_findings(name, base, kern))
+    findings.extend(_liveness_findings(name, base, kern))
 
     for n in ns:
         for equivalence in (Equivalence.STRICT, Equivalence.COUNTING):

@@ -1,0 +1,278 @@
+"""Differential gate for the liveness analysis.
+
+:mod:`repro.liveness` promises that its verdicts are *witnessed* and
+*soundly bounded*: every ``NOT LIVE`` verdict carries a lasso that
+re-executes step by step through the reaction semantics, and every
+dynamically starvable request stalls on a transition the static flow
+analysis (:class:`repro.lint.flow.FlowAnalysis`, rule PL008) already
+considers reachable.  This module is the harness that enforces those
+promises, the same way :mod:`repro.testkit.kerneldiff` pits the
+compiled kernel against the interpreter.  Claim families, each a
+finding when violated:
+
+``lasso-replay``
+    Every emitted lasso witness must re-execute through
+    :func:`repro.liveness.replay_lasso` -- the analysis may not vouch
+    for itself.
+
+``static-contradiction``
+    A specification with *no* statically reachable stall must be
+    dynamically live.  (The converse does not hold: a reachable stall
+    that the rest of the system can always resolve is still live --
+    which is exactly why PL008 is a warning and the dynamic analysis
+    is the verdict.  See docs/LIVENESS.md.)
+
+``witness-mismatch``
+    The report's violations and lassos must pair up one-to-one with
+    matching starvation flavours.
+
+``determinism``
+    Re-running the analysis over the same expansion must produce a
+    byte-identical ``to_dict`` document.
+
+``mutant-live``
+    (``live_diff_all(mutants=True)`` only.)  Every seeded starvation
+    mutant from :data:`repro.protocols.mutations.LIVENESS_MUTATIONS`
+    must be caught: a mutant the analysis calls live is a missed bug.
+
+Partial expansions degrade to *skipped* -- liveness needs the full
+essential fixpoint, so an inconclusive run is not a parity failure.
+Run one spec with :func:`live_diff_spec`, the shipped zoo (plus the
+starvation mutants) with :func:`live_diff_all`, the pinned regression
+corpus with :func:`live_diff_corpus` and freshly generated stalling
+specifications with :func:`live_diff_generated`; the CI
+``liveness-parity`` job runs all of them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.essential import explore
+from ..core.protocol import ProtocolSpec
+from ..liveness import analyze_liveness, replay_lasso
+
+__all__ = [
+    "LiveDiffFinding",
+    "LiveDiffReport",
+    "live_diff_spec",
+    "live_diff_all",
+    "live_diff_corpus",
+    "live_diff_generated",
+]
+
+
+@dataclass(frozen=True)
+class LiveDiffFinding:
+    """One broken liveness-harness invariant."""
+
+    #: ``lasso-replay`` / ``static-contradiction`` / ``witness-mismatch``
+    #: / ``determinism`` / ``mutant-live``.
+    kind: str
+    spec: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.spec}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class LiveDiffReport:
+    """Outcome of the liveness gate on one specification."""
+
+    spec: str
+    findings: tuple[LiveDiffFinding, ...]
+    #: The dynamic verdict (``None`` when the comparison was skipped).
+    live: bool | None = None
+    #: Whether the static flow analysis reaches any stalling transition.
+    static_can_stall: bool | None = None
+    #: Why the comparison was inconclusive (``None`` when it ran).
+    skipped: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff no invariant broke (skipped counts as ok)."""
+        return not self.findings
+
+    def describe(self) -> str:
+        """One summary line plus one line per finding."""
+        if self.skipped is not None:
+            return f"{self.spec}: skipped ({self.skipped})"
+        verdict = "live" if self.live else "NOT LIVE"
+        static = "stall reachable" if self.static_can_stall else "no static stall"
+        status = "ok" if self.ok else f"{len(self.findings)} findings"
+        lines = [f"{self.spec}: {verdict}, {static} -- {status}"]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _static_can_stall(spec: ProtocolSpec) -> bool:
+    """Whether the flow analysis reaches any stalling transition."""
+    from ..ir import lower
+    from ..lint.flow import FlowAnalysis
+
+    try:
+        program = lower(spec)
+    except Exception:  # pragma: no cover - non-lowerable ad-hoc spec
+        return True  # cannot prove stall-freedom: no contradiction
+    return bool(FlowAnalysis(program).stalls)
+
+
+def live_diff_spec(
+    spec: ProtocolSpec,
+    *,
+    augmented: bool = True,
+    max_visits: int = 1_000_000,
+    expect_not_live: bool = False,
+) -> LiveDiffReport:
+    """Run every liveness-harness invariant on one specification.
+
+    ``expect_not_live=True`` additionally flags a live verdict as a
+    ``mutant-live`` finding -- used for seeded starvation mutants that
+    the analysis is supposed to catch.
+    """
+    from ..core.essential import ExpansionLimitError
+
+    name = spec.name or "<spec>"
+    try:
+        result = explore(spec, augmented=augmented, max_visits=max_visits)
+    except ExpansionLimitError as exc:
+        return LiveDiffReport(
+            spec=name, findings=(), skipped=f"budget exhausted ({exc})"
+        )
+    if result.partial:
+        return LiveDiffReport(
+            spec=name, findings=(), skipped="budget exhausted"
+        )
+    report = analyze_liveness(result)
+    if not report.checked:
+        return LiveDiffReport(
+            spec=name, findings=(), skipped=f"unchecked ({report.reason})"
+        )
+
+    findings: list[LiveDiffFinding] = []
+    for lasso in report.lassos:
+        ok, reason = replay_lasso(result, lasso)
+        if not ok:
+            findings.append(
+                LiveDiffFinding(
+                    "lasso-replay", name, f"{lasso.signature}: {reason}"
+                )
+            )
+
+    static = _static_can_stall(spec)
+    if not report.live and not static:
+        findings.append(
+            LiveDiffFinding(
+                "static-contradiction",
+                name,
+                "no statically reachable stall, yet "
+                f"{len(report.violations)} starvable requests",
+            )
+        )
+
+    if len(report.violations) != len(report.lassos):
+        findings.append(
+            LiveDiffFinding(
+                "witness-mismatch",
+                name,
+                f"{len(report.violations)} violations but "
+                f"{len(report.lassos)} lassos",
+            )
+        )
+    else:
+        for violation, lasso in zip(report.violations, report.lassos):
+            if violation.kind is not lasso.kind:
+                findings.append(
+                    LiveDiffFinding(
+                        "witness-mismatch",
+                        name,
+                        f"violation {violation.kind.value} paired with "
+                        f"{lasso.kind.value} lasso ({lasso.signature})",
+                    )
+                )
+
+    first = json.dumps(report.to_dict(), sort_keys=True)
+    second = json.dumps(analyze_liveness(result).to_dict(), sort_keys=True)
+    if first != second:
+        findings.append(
+            LiveDiffFinding(
+                "determinism", name, "re-analysis produced a different document"
+            )
+        )
+
+    if expect_not_live and report.live:
+        findings.append(
+            LiveDiffFinding(
+                "mutant-live",
+                name,
+                "seeded starvation mutant analyzed as live",
+            )
+        )
+
+    return LiveDiffReport(
+        spec=name,
+        findings=tuple(findings),
+        live=report.live,
+        static_can_stall=static,
+    )
+
+
+def live_diff_all(
+    *, augmented: bool = True, mutants: bool = False
+) -> list[LiveDiffReport]:
+    """Run the gate over the whole shipped zoo (registry + DSL specs).
+
+    ``mutants=True`` additionally covers every seeded starvation mutant
+    with ``expect_not_live`` -- the analysis must catch the bugs this
+    repository plants on purpose.
+    """
+    from ..protocols.dsl import builtin_spec_names, load_builtin
+    from ..protocols.mutations import liveness_mutants_for
+    from ..protocols.registry import all_protocols
+
+    specs: list[ProtocolSpec] = list(all_protocols())
+    specs.extend(load_builtin(name) for name in builtin_spec_names())
+    reports = [live_diff_spec(spec, augmented=augmented) for spec in specs]
+    if mutants:
+        reports.extend(
+            live_diff_spec(mutant, augmented=augmented, expect_not_live=True)
+            for spec in specs
+            for mutant in liveness_mutants_for(spec)
+        )
+    return reports
+
+
+def live_diff_corpus(root: str = "tests/corpus") -> list[LiveDiffReport]:
+    """Replay the pinned regression corpus through the liveness gate.
+
+    Entries pinned as ``liveness-*`` findings are checked with
+    ``expect_not_live``; ordinary oracle entries just have to keep
+    every harness invariant.
+    """
+    from .corpus import Corpus
+
+    return [
+        live_diff_spec(
+            entry.compile(),
+            expect_not_live=entry.kind.startswith("liveness-"),
+        )
+        for entry in Corpus(root).entries()
+    ]
+
+
+def live_diff_generated(
+    count: int = 10, *, seed: int = 0, p_stall: float = 0.5
+) -> list[LiveDiffReport]:
+    """Run the gate over freshly generated stalling specifications."""
+    from .generate import GeneratorConfig, SpecGenerator
+
+    generator = SpecGenerator(
+        seed=seed, config=GeneratorConfig(p_stall=p_stall)
+    )
+    reports = []
+    for _ in range(count):
+        _, spec = generator.draw_checked()
+        reports.append(live_diff_spec(spec))
+    return reports
